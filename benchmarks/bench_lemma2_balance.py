@@ -1,0 +1,127 @@
+"""LEM2 — the bucket-balance tail bound (Lemmas 2 and 3).
+
+Lemma 2: writing blocks to uniformly random disks leaves every bucket's
+per-disk load within ``l * R/D`` except with probability
+``exp(-Omega(l log l R/D))``.  The benchmark measures the empirical maximum
+load ratio across many seeds — with *randomly ordered* destinations, so the
+balance really is the randomization's doing — and checks the tail tightens
+as ``R`` grows, exactly as the bound predicts.
+
+A companion test shows what the randomization buys: on adversarially
+ordered traffic, a non-random (static) disk assignment piles whole buckets
+onto single disks (load ratio ``~D``), which would serialize the fetching
+phase; the random permutation is oblivious to the traffic pattern.
+"""
+
+import random
+
+from repro.emio.disk import Block
+from repro.emio.diskarray import DiskArray
+from repro.emio.layout import RegionAllocator
+from repro.emio.linked import LinkedBuckets
+
+from .common import emit
+
+
+def max_load_ratio(R: int, D: int, v: int, seed: int, schedule="random") -> float:
+    array = DiskArray(D, 8)
+    store = LinkedBuckets(
+        array,
+        RegionAllocator(array),
+        D,
+        lambda d: d * D // v,
+        random.Random(seed),
+        schedule=schedule,
+    )
+    # Balanced destinations (exactly R blocks per bucket, as the lemma
+    # assumes) in a random arrival order, so only the disk assignment's
+    # randomness is under test.
+    rng = random.Random(seed + 999)
+    dests = [i % v for i in range(R * D)]
+    rng.shuffle(dests)
+    store.append_blocks(
+        [Block(records=[], dest=d, src=0, msg=i) for i, d in enumerate(dests)]
+    )
+    return store.max_load_ratio()
+
+
+def adversarial_ratio(R: int, D: int, schedule: str) -> float:
+    """Traffic whose in-cycle position equals the bucket id — the pattern
+    that defeats deterministic disk assignment."""
+    v = D  # one destination per bucket
+    array = DiskArray(D, 8)
+    store = LinkedBuckets(
+        array,
+        RegionAllocator(array),
+        D,
+        lambda d: d,
+        random.Random(0),
+        schedule=schedule,
+    )
+    blocks = []
+    for _cycle in range(R):
+        blocks.extend(
+            Block(records=[], dest=i, src=0, msg=i) for i in range(D)
+        )
+    store.append_blocks(blocks)
+    return store.max_load_ratio()
+
+
+def test_lemma2_balance_tail(benchmark):
+    D, v = 8, 64
+    nseeds = 60
+    rows = []
+    for R in (16, 64, 256):
+        ratios = sorted(max_load_ratio(R, D, v, s) for s in range(nseeds))
+        med = ratios[nseeds // 2]
+        p95 = ratios[int(nseeds * 0.95)]
+        worst = ratios[-1]
+        rows.append((R, f"{med:.2f}", f"{p95:.2f}", f"{worst:.2f}"))
+        # Lemma 2: the deviation l shrinks as R/D grows — the tail is
+        # exp(-Omega(l log l * R/D)).
+        if R >= 64:
+            assert worst <= 2.5
+        if R >= 256:
+            assert worst <= 1.8
+    emit(
+        "LEM2",
+        f"max per-disk bucket load / (R/D), D={D}, random dests, {nseeds} seeds",
+        ["R (blocks/bucket)", "median", "p95", "max"],
+        rows,
+    )
+    # Concentration improves with R: the tail shrinks.
+    maxima = [float(r[3]) for r in rows]
+    assert maxima[-1] <= maxima[0]
+    benchmark(max_load_ratio, 64, D, v, 0)
+
+
+def test_lemma2_randomization_is_input_oblivious(benchmark):
+    """Static assignment collapses on bucket-correlated traffic; the
+    paper's random permutation does not care."""
+    benchmark(lambda: None)  # timing anchor; the emitted table is the artifact
+    D, R = 8, 64
+    static = adversarial_ratio(R, D, "static")
+    rotate = adversarial_ratio(R, D, "rotate")
+    rnd = adversarial_ratio(R, D, "random")
+    emit(
+        "LEM2-ADV",
+        f"adversarial bucket-correlated traffic, D={D}, {R} cycles",
+        ["schedule", "max load ratio", "consequence"],
+        [
+            ("static", f"{static:.2f}", "whole bucket on one disk"),
+            ("rotate", f"{rotate:.2f}", "saved by per-cycle rotation"),
+            ("random (paper)", f"{rnd:.2f}", "oblivious guarantee"),
+        ],
+    )
+    assert static == D  # total collapse
+    assert rnd <= 2.0
+
+
+def test_lemma2_larger_D_needs_larger_R(benchmark):
+    """For fixed R, more disks mean relatively worse balance — the paper's
+    slackness condition v >= k*D*log(M/B) exists precisely for this."""
+    benchmark(lambda: None)  # timing anchor; the emitted table is the artifact
+    v = 256
+    small_D = sum(max_load_ratio(64, 2, v, s) for s in range(20)) / 20
+    large_D = sum(max_load_ratio(64, 16, v, s) for s in range(20)) / 20
+    assert large_D >= small_D

@@ -1,0 +1,60 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index).  Because the paper's claims are theorems about
+*counted* model costs (parallel I/O operations, h-relation packets,
+computation operations), each benchmark
+
+1. runs the relevant algorithms on the simulated EM machine,
+2. prints a measured-vs-predicted table (also appended to
+   ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md), and
+3. times a representative kernel with pytest-benchmark as a secondary,
+   wall-clock signal.
+
+Shape assertions (who wins, how costs scale) are made with generous
+constants so the suite stays robust across seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.params import MachineParams
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: default single-processor EM machine for Table 1 benches
+SEQ_MACHINE = MachineParams(p=1, M=1 << 14, D=4, B=64, b=64)
+
+#: default multiprocessor EM machine
+PAR_MACHINE = MachineParams(p=4, M=1 << 14, D=4, B=64, b=64)
+
+
+def emit(experiment: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned table, print it, and append it to the results file."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {experiment}: {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(c).ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines) + "\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as fh:
+        fh.write(text)
+    return text
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.2f}"
+    return str(x)

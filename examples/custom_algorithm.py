@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Writing your own algorithm: a CGM histogram / group-by aggregation.
+
+The whole point of the paper is that you write an ordinary coarse-grained
+*parallel* algorithm and get the external-memory algorithm for free.  This
+example builds a word-frequency (group-by-count) algorithm from scratch in
+~40 lines of superstep code, checks it against plain Python, and runs it on
+three machines — no I/O code anywhere in the algorithm.
+
+The CGM pattern: local aggregation, hash-route the partial counts to
+owners, merge — one h-relation, ``lambda = 2``.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import random
+from collections import Counter
+
+from repro import MachineParams
+from repro.bsp.collectives import share_bounds
+from repro.bsp.program import BSPAlgorithm, VPContext
+from repro.core.simulator import simulate
+
+
+class CGMHistogram(BSPAlgorithm):
+    """Count occurrences of each key; output j holds the counts for the
+    keys that hash to virtual processor j."""
+
+    def __init__(self, items, v):
+        self.items = list(items)
+        self.v = v
+        self.n = len(items)
+
+    # -- resource declarations (how much disk the simulation reserves) -----
+    def context_size(self) -> int:
+        return 512 + 6 * -(-self.n // self.v) * 2
+
+    def comm_bound(self) -> int:
+        return 128 + 4 * -(-self.n // self.v)
+
+    # -- the algorithm -------------------------------------------------------
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        return {"mine": self.items[lo:hi], "result": None}
+
+    def superstep(self, ctx: VPContext) -> None:
+        if ctx.step == 0:
+            # Local aggregation, then route each key's partial count to
+            # its owner (hash partitioning).
+            local = Counter(ctx.state["mine"])
+            ctx.charge(len(ctx.state["mine"]))
+            by_owner = {}
+            for key, cnt in sorted(local.items()):
+                owner = hash(key) % ctx.nprocs
+                by_owner.setdefault(owner, []).extend((key, cnt))
+            ctx.send_all(by_owner)
+            ctx.state["mine"] = []
+        else:
+            total = Counter()
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for key in it:
+                    total[key] += next(it)
+            ctx.charge(sum(total.values()))
+            ctx.state["result"] = dict(sorted(total.items()))
+            ctx.vote_halt()
+
+    def output(self, pid: int, state):
+        return state["result"] or {}
+
+
+def main() -> None:
+    rng = random.Random(7)
+    words = ["disk", "block", "track", "superstep", "router", "context",
+             "bucket", "packet"]
+    data = [rng.choice(words) for _ in range(5000)]
+    truth = Counter(data)
+    v = 8
+
+    print(f"counting {len(data)} records over {len(words)} keys, v={v}:\n")
+    mu = CGMHistogram(data, v).context_size()
+    for name, machine in (
+        ("laptop (D=1, B=32)", MachineParams(p=1, M=2 * mu, D=1, B=32, b=32)),
+        ("array  (D=4, B=64)", MachineParams(p=1, M=2 * mu, D=4, B=64, b=64)),
+        ("cluster (p=4, D=2)", MachineParams(p=4, M=2 * mu, D=2, B=64, b=64)),
+    ):
+        out, report = simulate(CGMHistogram(data, v), machine, v=v, seed=1)
+        merged = {}
+        for part in out:
+            merged.update(part)
+        assert merged == dict(truth), "transparent on every machine"
+        print(f"  {name:<20} lambda={report.num_supersteps}  "
+              f"io_ops={report.io_ops:>4}  "
+              f"comm_packets={report.ledger.total_comm_packets:>3}")
+    print("\ncorrect everywhere — the algorithm never mentioned a disk.")
+    top = truth.most_common(3)
+    print("top words:", ", ".join(f"{w} x{c}" for w, c in top))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Out-of-core graph analytics through the simulation (Table 1, Group C).
+
+Runs the Group C toolchain on data that — conceptually — lives on disk:
+
+* list ranking of a long linked list (the Group C workhorse),
+* Euler-tour tree statistics (depths, subtree sizes) of a random tree,
+* connected components and a spanning forest of a road-network-like graph,
+
+and compares the list-ranking I/O against the PRAM-simulation route
+(Chiang et al.: one external sort per PRAM step).
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import MachineParams
+from repro.algorithms.graphs import (
+    CGMConnectedComponents,
+    CGMExpressionEval,
+    CGMListRanking,
+    CGMSpanningForest,
+    batched_lca,
+    biconnected_components,
+    subtree_sizes,
+    tree_depths,
+)
+from repro.baselines import PRAMListRanking
+from repro.core.simulator import simulate
+from repro.workloads import (
+    random_graph_edges,
+    random_linked_list,
+    random_tree_edges,
+)
+
+
+def main() -> None:
+    v = 8
+    machine_base = MachineParams(p=1, M=1 << 15, D=4, B=32, b=32)
+
+    # --- 1. list ranking -------------------------------------------------
+    n = 2048
+    succ = random_linked_list(n, seed=7)
+    alg = CGMListRanking(succ, v)
+    machine = machine_base.with_(M=2 * alg.context_size())
+    out, report = simulate(CGMListRanking(succ, v), machine, v=v, seed=1)
+    ranks = {node: r for part in out for node, r in part}
+    head = max(ranks, key=ranks.get)
+    print(f"list ranking, n={n}:")
+    print(f"  head node {head} is {ranks[head]} hops from the tail")
+    print(f"  generated EM algorithm: {report.num_supersteps} supersteps, "
+          f"{report.io_ops} parallel I/O ops")
+
+    _, pram_stats = PRAMListRanking(machine).rank(succ)
+    print(f"  PRAM-simulation route : {pram_stats.steps} PRAM steps, "
+          f"{pram_stats.io_ops} parallel I/O ops "
+          f"({pram_stats.io_ops / report.io_ops:.1f}x more)\n")
+
+    # --- 2. tree statistics via Euler tour --------------------------------
+    nt = 512
+    edges = random_tree_edges(nt, seed=8)
+
+    def em_run(algorithm, vv):
+        m = machine_base.with_(M=2 * algorithm.context_size())
+        return simulate(algorithm, m, v=vv, seed=2)[0]
+
+    depths = tree_depths(edges, 0, v, run=em_run)
+    sizes = subtree_sizes(edges, 0, v, run=em_run)
+    deepest = max(depths, key=depths.get)
+    print(f"tree statistics via Euler tour + list ranking, n={nt}:")
+    print(f"  height {depths[deepest]} (node {deepest}); "
+          f"root subtree size {sizes[0]} (= n, sanity)")
+    big = sorted(sizes, key=sizes.get, reverse=True)[1]
+    print(f"  largest proper subtree: node {big} with {sizes[big]} nodes\n")
+
+    # --- 3. connectivity ---------------------------------------------------
+    nv, ne = 600, 900
+    gedges = random_graph_edges(nv, ne, seed=9)
+    alg = CGMConnectedComponents(nv, gedges, v)
+    machine = machine_base.with_(M=2 * alg.context_size())
+    out, report = simulate(CGMConnectedComponents(nv, gedges, v), machine, v=v)
+    labels = {vtx: lbl for part in out for vtx, lbl in part}
+    ncomp = len(set(labels.values()))
+    print(f"connectivity, V={nv}, E={ne}:")
+    print(f"  {ncomp} connected components "
+          f"({report.num_supersteps} supersteps, {report.io_ops} I/O ops)")
+
+    alg = CGMSpanningForest(nv, gedges, v)
+    machine = machine_base.with_(M=2 * alg.context_size())
+    out, _ = simulate(CGMSpanningForest(nv, gedges, v), machine, v=v)
+    print(f"  spanning forest with {len(out[0])} edges "
+          f"(= V - components = {nv - ncomp}, sanity)\n")
+
+    # --- 4. LCA queries on the tree ----------------------------------------
+    import random as _random
+
+    rng = _random.Random(11)
+    queries = [(rng.randrange(nt), rng.randrange(nt)) for _ in range(8)]
+    lcas = batched_lca(edges, 0, queries, v, run=em_run)
+    print("batched LCA on the statistics tree (via tour + ranking + RMQ):")
+    for (a, b), c in zip(queries[:4], lcas[:4]):
+        print(f"  lca({a}, {b}) = {c}")
+
+    # --- 5. biconnectivity of the densest component -------------------------
+    comps = biconnected_components(nv, gedges, v, run=em_run)
+    big = max(comps, key=len)
+    print(f"\nbiconnected components of the road network: {len(comps)}; "
+          f"largest has {len(big)} edges")
+
+    # --- 6. an expression tree, evaluated by tree contraction ----------------
+    from repro.workloads import random_expression_tree
+
+    eedges, ops, leaves = random_expression_tree(64, seed=12)
+    alg = CGMExpressionEval(eedges, ops, leaves, v)
+    machine = machine_base.with_(M=2 * alg.context_size())
+    out, report = simulate(CGMExpressionEval(eedges, ops, leaves, v), machine, v=v)
+    print(f"\nexpression tree with 64 leaves evaluates to {out[0][0]} "
+          f"({report.num_supersteps} supersteps of rake/compress)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,248 @@
+"""Command-line interface: run Table 1 algorithms on a described EM machine.
+
+Examples::
+
+    python -m repro sort --n 8192 --disks 4 --block 64
+    python -m repro permute --n 4096 --procs 4
+    python -m repro listrank --n 2048 --compare-pram
+    python -m repro delaunay --n 256 --v 8
+    python -m repro machines --n 4096          # one algorithm, many machines
+
+Every run prints the counted model costs (parallel I/O operations, packets,
+computation) and the paper's theoretical bound for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import workloads
+from .core.simulator import simulate
+from .params import MachineParams
+
+
+def _machine(args, mu: int) -> MachineParams:
+    M = args.memory if args.memory else max(2 * mu, args.disks * args.block)
+    return MachineParams(
+        p=args.procs,
+        M=M,
+        D=args.disks,
+        B=args.block,
+        b=max(args.block, args.packet or args.block),
+        G=args.G,
+    )
+
+
+def _report(name: str, report, n: int) -> None:
+    machine = report.params.machine
+    led = report.ledger
+    scan = max(n / machine.io_bandwidth, 1e-9)
+    print(f"{name}: v={report.params.bsp.v}, k={report.params.k}, "
+          f"p={machine.p}, D={machine.D}, B={machine.B}, M={machine.M}")
+    print(f"  compound supersteps (lambda) : {report.num_supersteps}")
+    print(f"  parallel I/O operations      : {report.io_ops} "
+          f"({report.io_ops / scan:.1f} scans of the data)")
+    print(f"  theoretical bound v*mu*lambda/(p*B*D) : "
+          f"{report.theoretical_io_bound():.0f}")
+    print(f"  communication packets        : {led.total_comm_packets}")
+    print(f"  computation operations       : {led.total_comp:.0f}")
+    print(f"  model time (G={machine.G:g}, g={machine.g:g}, L={machine.L:g}) : "
+          f"{led.total_time():.0f}")
+    print(f"  Lemma 2 max disk deviation   : {report.max_load_ratio:.2f}")
+
+
+def cmd_sort(args) -> int:
+    from .algorithms import CGMSampleSort
+
+    data = workloads.uniform_keys(args.n, seed=args.seed)
+    alg = CGMSampleSort(data, args.v)
+    out, report = simulate(
+        CGMSampleSort(data, args.v), _machine(args, alg.context_size()),
+        v=args.v, seed=args.seed,
+    )
+    flat = [x for part in out for x in part]
+    assert flat == sorted(data)
+    _report(f"sorted {args.n} keys", report, args.n)
+    if args.compare_baselines:
+        from .baselines import EMMergeSort, SibeynKaufmannSimulation
+
+        machine = _machine(args, alg.context_size())
+        if machine.p == 1:
+            _, st = EMMergeSort(machine).sort(data)
+            print(f"  baseline EM mergesort        : {st.io_ops} I/O ops")
+        _, sk = SibeynKaufmannSimulation(
+            CGMSampleSort(data, args.v), args.v, machine.with_(p=1)
+        ).run()
+        print(f"  baseline Sibeyn-Kaufmann sim : {sk.io_ops} I/O ops")
+    return 0
+
+
+def cmd_permute(args) -> int:
+    from .algorithms import CGMPermutation
+
+    vals = list(range(args.n))
+    perm = workloads.random_permutation(args.n, seed=args.seed)
+    alg = CGMPermutation(vals, perm, args.v)
+    out, report = simulate(
+        CGMPermutation(vals, perm, args.v), _machine(args, alg.context_size()),
+        v=args.v, seed=args.seed,
+    )
+    y = [x for part in out for x in part]
+    assert all(y[perm[i]] == vals[i] for i in range(args.n))
+    _report(f"permuted {args.n} records", report, args.n)
+    if args.compare_baselines and args.procs == 1:
+        from .baselines import NaiveEMPermute
+
+        _, st = NaiveEMPermute(_machine(args, alg.context_size())).permute(vals, perm)
+        print(f"  baseline naive permutation   : {st.io_ops} I/O ops")
+    return 0
+
+
+def cmd_transpose(args) -> int:
+    from .algorithms import CGMMatrixTranspose
+
+    r = args.rows or int(args.n**0.5)
+    c = args.n // r
+    entries = workloads.matrix_entries(r, c, seed=args.seed)
+    alg = CGMMatrixTranspose(entries, r, c, args.v)
+    _, report = simulate(
+        CGMMatrixTranspose(entries, r, c, args.v),
+        _machine(args, alg.context_size()), v=args.v, seed=args.seed,
+    )
+    _report(f"transposed a {r}x{c} matrix", report, r * c)
+    return 0
+
+
+def cmd_listrank(args) -> int:
+    from .algorithms.graphs import CGMListRanking
+
+    succ = workloads.random_linked_list(args.n, seed=args.seed)
+    alg = CGMListRanking(succ, args.v)
+    _, report = simulate(
+        CGMListRanking(succ, args.v), _machine(args, alg.context_size()),
+        v=args.v, seed=args.seed,
+    )
+    _report(f"ranked a {args.n}-node list", report, args.n)
+    if args.compare_pram and args.procs == 1:
+        from .baselines import PRAMListRanking
+
+        _, st = PRAMListRanking(_machine(args, alg.context_size())).rank(succ)
+        print(f"  baseline PRAM simulation     : {st.io_ops} I/O ops "
+              f"({st.io_ops / max(report.io_ops, 1):.1f}x)")
+    return 0
+
+
+def cmd_cc(args) -> int:
+    from .algorithms.graphs import CGMConnectedComponents
+
+    nv = args.n
+    edges = workloads.random_graph_edges(nv, 2 * nv, seed=args.seed)
+    alg = CGMConnectedComponents(nv, edges, args.v)
+    out, report = simulate(
+        CGMConnectedComponents(nv, edges, args.v),
+        _machine(args, alg.context_size()), v=args.v, seed=args.seed,
+    )
+    ncomp = len({lbl for part in out for _vtx, lbl in part})
+    _report(f"connected components (V={nv}, E={2 * nv}): {ncomp} found",
+            report, 3 * nv)
+    return 0
+
+
+def cmd_hull(args) -> int:
+    from .algorithms.geometry import CGMConvexHull
+
+    pts = workloads.random_points(args.n, seed=args.seed)
+    alg = CGMConvexHull(pts, args.v)
+    out, report = simulate(
+        CGMConvexHull(pts, args.v), _machine(args, alg.context_size()),
+        v=args.v, seed=args.seed,
+    )
+    _report(f"2D hull of {args.n} points: {len(out[0])} vertices", report, args.n)
+    return 0
+
+
+def cmd_delaunay(args) -> int:
+    from .algorithms.geometry import CGMDelaunay
+
+    pts = workloads.random_points(args.n, seed=args.seed)
+    alg = CGMDelaunay(pts, args.v)
+    out, report = simulate(
+        CGMDelaunay(pts, args.v), _machine(args, alg.context_size()),
+        v=args.v, seed=args.seed,
+    )
+    ntris = sum(len(part) for part in out)
+    _report(f"Delaunay triangulation of {args.n} points: {ntris} triangles",
+            report, args.n)
+    return 0
+
+
+def cmd_machines(args) -> int:
+    from .algorithms import CGMPermutation
+
+    vals = list(range(args.n))
+    perm = workloads.random_permutation(args.n, seed=args.seed)
+    mu = CGMPermutation(vals, perm, args.v).context_size()
+    print(f"permutation of n={args.n} on four machines (same algorithm):\n")
+    print(f"{'machine':<30}{'io_ops':>8}{'packets':>9}{'model time':>12}")
+    for name, p, D, B in (
+        ("laptop    p=1 D=1 B=32", 1, 1, 32),
+        ("workstn   p=1 D=4 B=64", 1, 4, 64),
+        ("diskarray p=1 D=8 B=128", 1, 8, 128),
+        ("cluster   p=4 D=2 B=64", 4, 2, 64),
+    ):
+        machine = MachineParams(p=p, M=2 * mu, D=D, B=B, b=B, G=args.G)
+        _, rep = simulate(
+            CGMPermutation(vals, perm, args.v), machine, v=args.v,
+            seed=args.seed,
+        )
+        print(f"{name:<30}{rep.io_ops:>8}{rep.ledger.total_comm_packets:>9}"
+              f"{rep.ledger.total_time():>12.0f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run coarse-grained parallel algorithms as external-memory "
+        "algorithms (Dehne-Dittrich-Hutchinson simulation).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--n", type=int, default=4096, help="problem size")
+        p.add_argument("--v", type=int, default=8, help="virtual processors")
+        p.add_argument("--procs", "-p", type=int, default=1, help="real processors")
+        p.add_argument("--disks", "-D", type=int, default=4, help="disks per processor")
+        p.add_argument("--block", "-B", type=int, default=64, help="disk block size (records)")
+        p.add_argument("--packet", "-b", type=int, default=None, help="router packet size")
+        p.add_argument("--memory", "-M", type=int, default=None,
+                       help="memory per processor (default: 2 contexts)")
+        p.add_argument("--G", type=float, default=1.0, help="I/O cost coefficient")
+        p.add_argument("--seed", type=int, default=0)
+
+    for name, fn, extra in (
+        ("sort", cmd_sort, ["--compare-baselines"]),
+        ("permute", cmd_permute, ["--compare-baselines"]),
+        ("transpose", cmd_transpose, ["--rows"]),
+        ("listrank", cmd_listrank, ["--compare-pram"]),
+        ("cc", cmd_cc, []),
+        ("hull", cmd_hull, []),
+        ("delaunay", cmd_delaunay, []),
+        ("machines", cmd_machines, []),
+    ):
+        p = sub.add_parser(name)
+        common(p)
+        for flag in extra:
+            if flag == "--rows":
+                p.add_argument(flag, type=int, default=None)
+            else:
+                p.add_argument(flag, action="store_true")
+        p.set_defaults(func=fn)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

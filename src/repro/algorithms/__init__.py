@@ -1,0 +1,25 @@
+"""CGM algorithm library — the rows of Table 1.
+
+Group A (fundamental): :class:`CGMSampleSort`, :class:`CGMPermutation`,
+:class:`CGMMatrixTranspose`.
+Group B (GIS / computational geometry): see :mod:`repro.algorithms.geometry`.
+Group C (graphs): see :mod:`repro.algorithms.graphs`.
+
+Every algorithm is an ordinary :class:`~repro.bsp.program.BSPAlgorithm` and
+runs unchanged on the in-memory reference runner and on both EM simulation
+engines.
+"""
+
+from .matrix import CGMMatrixTranspose
+from .multisearch import CGMMultisearch
+from .prefix import CGMPrefixSums
+from .permutation import CGMPermutation
+from .sorting import CGMSampleSort
+
+__all__ = [
+    "CGMSampleSort",
+    "CGMPermutation",
+    "CGMMatrixTranspose",
+    "CGMPrefixSums",
+    "CGMMultisearch",
+]

@@ -1,0 +1,66 @@
+"""Group B of Table 1: CGM computational-geometry algorithms (``lambda = O(1)``).
+
+All are built on the slab-decomposition skeleton of
+:class:`~repro.algorithms.geometry.common.SlabAlgorithm`:
+
+* :class:`CGMConvexHull` — 2D convex hull (stand-in for the 3D hull /
+  Voronoi row; see DESIGN.md substitutions).
+* :class:`CGM3DMaxima` — 3D maximal points.
+* :class:`CGMDominanceCounting` — 2D weighted dominance counting.
+* :class:`CGMRectangleUnionArea` — area of a union of rectangles.
+* :class:`CGMLowerEnvelope` — lower envelope of non-crossing segments.
+* :class:`CGMAllNearestNeighbors` — 2D all nearest neighbours.
+* :class:`CGMNextElementSearch` — next element search / batched planar
+  point location; :func:`trapezoidal_decomposition` and the
+  :func:`triangulate_polygon` kernel build on it.
+* :class:`CGMSeparability` — uni-/multi-directional separability.
+* :class:`CGMDelaunay` / :class:`CGM3DConvexHull` — the full
+  "3D convex hull / Voronoi / Delaunay" row, on from-scratch kernels.
+* :class:`CGMGeneralLowerEnvelope` — crossing segments (Davenport–Schinzel).
+* :class:`CGMSegmentTreeStab` — distributed segment tree + batched stabbing.
+"""
+
+from .common import SlabAlgorithm, convex_hull, staircase_2d
+from .delaunay import CGMDelaunay, voronoi_edges
+from .dominance import CGMDominanceCounting
+from .triangulate import circumcircle, delaunay_triangulation
+from .envelope import CGMLowerEnvelope, envelope_sweep
+from .genenvelope import CGMGeneralLowerEnvelope, envelope_of_segments
+from .hull import CGMConvexHull
+from .hull3d import CGM3DConvexHull, convex_hull_3d, hull_vertices_3d
+from .maxima import CGM3DMaxima
+from .nearest import CGMAllNearestNeighbors
+from .pointloc import CGMNextElementSearch
+from .rectangles import CGMRectangleUnionArea, union_area_sweep
+from .segtree import CGMSegmentTreeStab, SegmentTree
+from .separability import CGMSeparability
+from .trapezoid import trapezoidal_decomposition, triangulate_polygon
+
+__all__ = [
+    "SlabAlgorithm",
+    "convex_hull",
+    "staircase_2d",
+    "envelope_sweep",
+    "union_area_sweep",
+    "CGMConvexHull",
+    "CGM3DConvexHull",
+    "convex_hull_3d",
+    "hull_vertices_3d",
+    "CGMDelaunay",
+    "voronoi_edges",
+    "circumcircle",
+    "delaunay_triangulation",
+    "CGM3DMaxima",
+    "CGMDominanceCounting",
+    "CGMRectangleUnionArea",
+    "CGMLowerEnvelope",
+    "CGMGeneralLowerEnvelope",
+    "envelope_of_segments",
+    "CGMAllNearestNeighbors",
+    "CGMNextElementSearch",
+    "CGMSeparability",
+    "CGMSegmentTreeStab",
+    "SegmentTree",
+    "trapezoidal_decomposition",
+    "triangulate_polygon",
+]

@@ -1,0 +1,202 @@
+"""Shared machinery for the Group B geometry algorithms.
+
+Almost every CGM geometry algorithm in Table 1 follows the same
+coarse-grained outline (Dehne, Fabri & Rau-Chaplin [19]):
+
+1. sample the input's x-order and pick ``v - 1`` global splitters,
+2. route every object to the x-*slab(s)* it intersects (one ``h``-relation),
+3. solve the subproblem inside each slab locally, and
+4. resolve cross-slab information with O(1) further ``h``-relations.
+
+:class:`SlabAlgorithm` implements steps 1–2 once; subclasses supply the slab
+key, the slab range of an object (objects like segments and rectangles can
+span several slabs), and the post-distribution supersteps.  The module also
+collects the planar primitives (orientation tests, monotone-chain hulls,
+staircases) used across the package.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Sequence
+
+from ...bsp.collectives import regular_samples, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = [
+    "SlabAlgorithm",
+    "cross",
+    "upper_hull",
+    "lower_hull",
+    "convex_hull",
+    "staircase_2d",
+]
+
+
+# ---------------------------------------------------------------------------
+# planar primitives
+# ---------------------------------------------------------------------------
+
+
+def cross(o: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float:
+    """2D cross product of ``oa`` and ``ob``; > 0 for a left turn."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def _half_hull(points: Iterable[Sequence[float]], sign: float) -> list:
+    pts = sorted(set((p[0], p[1]) for p in points))
+    if len(pts) <= 2:
+        return pts
+    hull: list = []
+    for p in pts:
+        while len(hull) >= 2 and sign * cross(hull[-2], hull[-1], p) >= 0:
+            hull.pop()
+        hull.append(p)
+    return hull
+
+
+def upper_hull(points: Iterable[Sequence[float]]) -> list:
+    """Upper convex hull, left to right (Andrew's monotone chain)."""
+    return _half_hull(points, sign=1.0)
+
+
+def lower_hull(points: Iterable[Sequence[float]]) -> list:
+    """Lower convex hull, left to right."""
+    return _half_hull(points, sign=-1.0)
+
+
+def convex_hull(points: Iterable[Sequence[float]]) -> list:
+    """Convex hull in counter-clockwise order starting at the lowest-x point."""
+    pts = sorted(set((p[0], p[1]) for p in points))
+    if len(pts) <= 2:
+        return pts
+    lo = lower_hull(pts)
+    up = upper_hull(pts)
+    return lo[:-1] + up[::-1][:-1]
+
+
+def staircase_2d(points: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Maximal points of a 2D set (no other point has both coords larger).
+
+    Returned sorted by decreasing first coordinate / increasing second.
+    """
+    best: list[tuple[float, float]] = []
+    for p in sorted(points, key=lambda q: (-q[0], -q[1])):
+        if not best or p[1] > best[-1][1]:
+            best.append(p)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# the slab-decomposition skeleton
+# ---------------------------------------------------------------------------
+
+
+class SlabAlgorithm(BSPAlgorithm):
+    """Skeleton: sample -> splitters -> slab routing -> subclass supersteps.
+
+    Subclasses implement :meth:`xkey`, optionally :meth:`slab_range`, and
+    :meth:`process`, which is called from superstep 3 on with a relative
+    step counter (0 on the superstep in which the routed slab contents
+    arrive).  Superstep layout:
+
+    ========  =====================================================
+    step 0    local sort by ``xkey``; samples to vp 0
+    step 1    vp 0 broadcasts ``v - 1`` splitters
+    step 2    every object routed to its slab(s)
+    step 3+   ``process(ctx, rel_step)`` with ``rel_step = step - 3``
+    ========  =====================================================
+
+    The slab of vp ``j`` is the x-interval ``[splitter[j-1], splitter[j])``
+    (unbounded at both ends).  Objects are delivered in ``state["slab"]``;
+    the splitters in ``state["splitters"]``.
+    """
+
+    #: oversampling factor for splitter selection
+    SAMPLES_PER_VP = 4
+
+    def __init__(self, items: Sequence[Any], v: int):
+        self.items = list(items)
+        self.v = v
+        self.n = len(self.items)
+
+    # -- hooks -------------------------------------------------------------------
+
+    def xkey(self, item: Any) -> float:  # pragma: no cover - abstract
+        """The x-coordinate by which slabs are formed."""
+        raise NotImplementedError
+
+    def slab_range(self, item: Any, splitters: list[float], v: int) -> range:
+        """Slabs an object must be sent to (default: the one containing xkey)."""
+        j = bisect.bisect_right(splitters, self.xkey(item))
+        return range(j, j + 1)
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:  # pragma: no cover
+        """Subclass supersteps; first call has the slab contents in state."""
+        raise NotImplementedError
+
+    # -- resource declarations ------------------------------------------------------
+
+    def duplication_factor(self) -> int:
+        """Upper bound on how many slabs one object can be routed to.
+
+        Slab-spanning objects (segments, rectangles) may be replicated; the
+        default assumes modest spans.  Subclasses dealing with potentially
+        full-span objects should override (worst case ``v``).
+        """
+        return 4
+
+    def context_size(self) -> int:
+        per = 16
+        dup = self.duplication_factor()
+        return 2048 + per * (2 * dup * -(-max(self.n, 1) // self.v) + 2 * self.v * self.v)
+
+    def comm_bound(self) -> int:
+        per = 8
+        dup = self.duplication_factor()
+        return 512 + per * max(
+            self.SAMPLES_PER_VP * self.v * 2,
+            2 * dup * -(-max(self.n, 1) // self.v) + 2 * self.v,
+        )
+
+    # -- the fixed first three supersteps ----------------------------------------------
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        return {
+            "mine": self.items[lo:hi],
+            "splitters": None,
+            "slab": None,
+        }
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.step == 0:
+            st["mine"].sort(key=self.xkey)
+            ctx.charge(len(st["mine"]) * max(1, len(st["mine"]).bit_length()))
+            samples = regular_samples(
+                [self.xkey(x) for x in st["mine"]], self.SAMPLES_PER_VP * ctx.nprocs
+            )
+            ctx.send(0, samples)
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                allsamples = sorted(s for m in ctx.incoming for s in m.payload)
+                splitters = regular_samples(allsamples, ctx.nprocs - 1)
+                ctx.charge(len(allsamples))
+                for dest in range(ctx.nprocs):
+                    ctx.send(dest, splitters)
+        elif ctx.step == 2:
+            splitters = list(ctx.incoming[0].payload)
+            st["splitters"] = splitters
+            by_dest: dict[int, list] = {}
+            for item in st["mine"]:
+                for j in self.slab_range(item, splitters, ctx.nprocs):
+                    if 0 <= j < ctx.nprocs:
+                        by_dest.setdefault(j, []).append(item)
+            ctx.charge(len(st["mine"]))
+            ctx.send_all(by_dest)
+            st["mine"] = []
+        else:
+            if ctx.step == 3:
+                st["slab"] = [x for m in ctx.incoming for x in m.payload]
+            self.process(ctx, ctx.step - 3)

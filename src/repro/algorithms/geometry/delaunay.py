@@ -1,0 +1,282 @@
+"""CGM Delaunay triangulation (Table 1, Group B, "2D Voronoi diagram /
+Delaunay triangulation" row).
+
+Certified-star slab algorithm with DeWall-style wall treatment: points are
+routed into x-slabs and each slab triangulates the points it holds.  The
+*star* of an owned point is correct once
+
+* every incident local triangle's circumcircle lies within the slab's
+  **known interval** (the x-range for which the slab provably holds every
+  input point) — interior certification; uncertified circles trigger
+  interval point-fetches, exactly like the all-nearest-neighbours window;
+* every incident local convex-hull edge is confirmed to be a *global* hull
+  edge — or acquires its true Delaunay mate by a distributed gift-wrapping
+  step: all slabs are asked for their best candidate beyond the edge
+  (maximum subtended angle = minimum circumcircle), and the global best is
+  added to the local set.
+
+The loop re-triangulates whenever new points arrive and terminates on a
+globally quiet round (no pending circles, no fetched points — a vote via
+vp 0 per round, like the list-ranking control loop).  A triangle is output
+by the owner of its leftmost vertex (ties by index), so the union over
+slabs covers the triangulation with each triangle exactly once.
+
+For uniformly distributed points the circles are small and the hull mates
+resolve in one or two rounds whp — ``lambda = O(1)`` h-relations, the
+Group B row; widely separated clusters degrade gracefully (one gift-wrap
+mate per wall edge per round).  The Voronoi diagram is the planar dual
+(:func:`voronoi_edges`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm, cross
+from .triangulate import circumcircle, delaunay_triangulation
+
+__all__ = ["CGMDelaunay", "voronoi_edges"]
+
+INF = float("inf")
+
+
+def _mate_key(u, w, z) -> tuple:
+    """Gift-wrap ordering for candidates ``z`` beyond edge ``(u, w)``:
+    the mate maximizes the subtended angle, i.e. minimizes its cosine."""
+    ux, uy = u[0] - z[0], u[1] - z[1]
+    wx, wy = w[0] - z[0], w[1] - z[1]
+    nu = math.hypot(ux, uy)
+    nw = math.hypot(wx, wy)
+    if nu == 0 or nw == 0:  # pragma: no cover - duplicate guard upstream
+        return (INF,)
+    return ((ux * wx + uy * wy) / (nu * nw),)
+
+
+class CGMDelaunay(SlabAlgorithm):
+    """Delaunay triangulation of a 2D point set in general position.
+
+    Output ``j`` is the sorted list of triangles (original-index triples)
+    whose leftmost vertices are owned by slab ``j``; the union over vps is
+    the full triangulation.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]], v: int):
+        items = [(i, tuple(p)) for i, p in enumerate(points)]
+        super().__init__(items, v)
+
+    def xkey(self, item) -> float:
+        return item[1][0]
+
+    def comm_bound(self) -> int:
+        return 2048 + 16 * self.v * max(8, -(-self.n // self.v))
+
+    def context_size(self) -> int:
+        return 8192 + 64 * self.v * max(8, -(-self.n // self.v))
+
+    # -- local geometry ---------------------------------------------------------------
+
+    def _retriangulate(self, ctx: VPContext):
+        """Local DT; returns (interval need, hull-edge mate queries)."""
+        st = ctx.state
+        pts = st["points"]  # {idx: (x, y)}
+        own = st["ownpts"]
+        idxs = sorted(pts)
+        coords = [pts[i] for i in idxs]
+        local = delaunay_triangulation(coords) if len(coords) >= 3 else []
+        ctx.charge(len(coords) ** 2)
+        klo, khi = st["known"]
+        mine = []
+        need = (INF, -INF)
+        edge_tris: dict[tuple[int, int], list] = {}
+        for a, b, c in local:
+            ga, gb, gc = idxs[a], idxs[b], idxs[c]
+            for e in ((a, b), (b, c), (a, c)):
+                edge_tris.setdefault((min(e), max(e)), []).append((a, b, c))
+            if not any(g in own for g in (ga, gb, gc)):
+                continue  # no owned vertex: another slab certifies this star
+            ux, _uy, r2 = circumcircle(coords[a], coords[b], coords[c])
+            r = math.sqrt(r2)
+            if klo <= ux - r and ux + r <= khi:
+                leftmost = min((ga, gb, gc), key=lambda g: (pts[g][0], g))
+                if leftmost in own:
+                    mine.append(tuple(sorted((ga, gb, gc))))
+            else:
+                need = (min(need[0], ux - r), max(need[1], ux + r))
+        st["certified"] = sorted(set(mine))
+        # Local convex-hull edges (used by exactly one triangle) incident to
+        # an owned vertex: gift-wrap queries with an inner-side witness.
+        queries = []
+        if len(coords) == 2 and any(i in own for i in idxs):
+            # Degenerate two-point hull: one "edge", no witness side —
+            # query both sides via a synthetic witness.
+            (i, j) = (0, 1)
+            queries.append((idxs[i], idxs[j], None))
+        for (a, b), tris_ in edge_tris.items():
+            if len(tris_) != 1:
+                continue
+            ga, gb = idxs[a], idxs[b]
+            if ga not in own and gb not in own:
+                continue
+            (t,) = tris_
+            third = next(x for x in t if x not in (a, b))
+            queries.append((ga, gb, idxs[third]))
+        return need, queries
+
+    # -- the iterative certification loop ----------------------------------------------
+
+    def _own_interval(self, ctx: VPContext) -> tuple[float, float]:
+        split = ctx.state["splitters"]
+        lo = split[ctx.pid - 1] if ctx.pid > 0 else -INF
+        hi = split[ctx.pid] if ctx.pid < len(split) else INF
+        return lo, hi
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        v = ctx.nprocs
+        phase = rel_step % 3
+        if rel_step == 0:
+            st["own"] = self._own_interval(ctx)
+            st["known"] = st["own"]
+            st["points"] = {idx: p for idx, p in st["slab"]}
+            st["ownpts"] = dict(st["points"])
+            st["dirty"] = True
+        if phase == 0:
+            # A: (re)triangulate when dirty; emit interval fetches and
+            # gift-wrap queries; report pending to vp 0.
+            if st["dirty"]:
+                need, queries = self._retriangulate(ctx)
+                st["want"] = need
+                split = st["splitters"]
+                pending = 1 if (need[0] <= need[1] or queries) else 0
+                if need[0] <= need[1]:
+                    import bisect
+
+                    jlo = bisect.bisect_left(split, need[0])
+                    jhi = bisect.bisect_right(split, need[1])
+                    for j in range(jlo, min(jhi, v - 1) + 1):
+                        if j != ctx.pid:
+                            ctx.send(j, ["R", ctx.pid, need[0], need[1]])
+                if queries:
+                    payload = ["W", ctx.pid]
+                    pts = st["points"]
+                    for ga, gb, gt in queries:
+                        tx, ty = pts[gt] if gt is not None else (INF, INF)
+                        payload.extend(
+                            (ga, *pts[ga], gb, *pts[gb], tx, ty)
+                        )
+                    for j in range(v):
+                        if j != ctx.pid:
+                            ctx.send(j, payload)
+            else:
+                st["want"] = (INF, -INF)
+                pending = 0
+            ctx.send(0, ["N", pending])
+        elif phase == 1:
+            # B: answer interval and gift-wrap queries; vp 0 tallies.
+            total_pending = 0
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "R":
+                        who, xlo, xhi = next(it), next(it), next(it)
+                        payload = ["P"]
+                        for idx, (x, y) in sorted(st["ownpts"].items()):
+                            if xlo <= x <= xhi:
+                                payload.extend((idx, x, y))
+                        if len(payload) > 1:
+                            ctx.send(who, payload)
+                    elif tag == "W":
+                        who = next(it)
+                        reply = ["P"]
+                        while True:
+                            try:
+                                ga = next(it)
+                            except StopIteration:
+                                break
+                            u = (next(it), next(it))
+                            gb = next(it)
+                            w = (next(it), next(it))
+                            tx, ty = next(it), next(it)
+                            best = None
+                            for idx, z in st["ownpts"].items():
+                                if idx in (ga, gb):
+                                    continue
+                                s = cross(u, w, z)
+                                if tx != INF:
+                                    s_in = cross(u, w, (tx, ty))
+                                    if s * s_in >= 0:
+                                        continue  # not strictly on the outer side
+                                elif s == 0:
+                                    continue
+                                key = _mate_key(u, w, z)
+                                if best is None or key < best[0]:
+                                    best = (key, idx, z)
+                            if best is not None:
+                                reply.extend((best[1], best[2][0], best[2][1]))
+                        if len(reply) > 1:
+                            ctx.send(who, reply)
+                    elif tag == "N":
+                        total_pending += next(it)
+            ctx.charge(len(st["ownpts"]) * 4)
+            if ctx.pid == 0:
+                decision = "D" if total_pending == 0 else "C"
+                for dest in range(v):
+                    ctx.send(dest, ["X", decision])
+        else:
+            # C: absorb fetched points, update dirtiness, loop or halt.
+            decision = None
+            added = 0
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "P":
+                        for idx in it:
+                            x, y = next(it), next(it)
+                            if idx not in st["points"]:
+                                added += 1
+                            st["points"][idx] = (x, y)
+                    elif tag == "X":
+                        decision = next(it)
+            if decision == "D":
+                ctx.vote_halt()
+                return
+            want = st["want"]
+            known_before = st["known"]
+            if want[0] <= want[1]:
+                st["known"] = (
+                    min(st["known"][0], want[0]),
+                    max(st["known"][1], want[1]),
+                )
+                if ctx.pid == 0:
+                    st["known"] = (-INF, st["known"][1])
+                if ctx.pid == v - 1:
+                    st["known"] = (st["known"][0], INF)
+            # Re-triangulate if points arrived OR the known interval grew
+            # (previously uncertified circles may certify now).
+            st["dirty"] = added > 0 or st["known"] != known_before
+
+    def output(self, pid: int, state) -> list:
+        return state.get("certified", [])
+
+
+def voronoi_edges(
+    points: Sequence[tuple[float, float]],
+    triangles: Sequence[tuple[int, int, int]],
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Finite Voronoi edges: segments joining circumcenters of triangles
+    sharing an edge (the planar dual of the Delaunay triangulation)."""
+    centers = {}
+    by_edge: dict[tuple[int, int], list] = {}
+    for t in triangles:
+        a, b, c = t
+        ux, uy, _ = circumcircle(points[a], points[b], points[c])
+        centers[t] = (ux, uy)
+        for e in ((a, b), (b, c), (a, c)):
+            by_edge.setdefault((min(e), max(e)), []).append(t)
+    out = []
+    for e, ts in sorted(by_edge.items()):
+        if len(ts) == 2:
+            out.append((centers[ts[0]], centers[ts[1]]))
+    return out

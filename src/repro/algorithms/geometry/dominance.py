@@ -1,0 +1,206 @@
+"""CGM 2D weighted dominance counting (Table 1, Group B).
+
+For every query point ``p`` compute the total weight of input points
+strictly dominated by it (``x' < x`` and ``y' < y``).  The coarse-grained
+grid method:
+
+1. route points into x-slabs (the :class:`SlabAlgorithm` skeleton);
+2. sample y inside the slabs, pick ``v - 1`` global y-splitters — the slabs
+   and y-buckets form a ``v x v`` grid;
+3. every slab vp reports its per-y-bucket weight sums to vp 0 (the grid's
+   column) and routes each point, tagged with its slab id, to the vp owning
+   its y-bucket;
+4. vp 0 broadcasts the full grid matrix; each y-bucket vp resolves its
+   points exactly: the dominated weight of ``p`` in slab ``j``, bucket
+   ``b`` is (a) the matrix prefix over cells ``(j' < j, b' < b)`` plus (b) a
+   Fenwick-tree sweep over the bucket's points in y-order for the partial
+   bucket row.
+
+``lambda = O(1)`` rounds with ``h = O(n/v + v^2)`` — the CGM coarseness
+assumption ``n/v >= v^2`` covers the matrix broadcast.  Results return to
+each point's home vp (block distribution by original index).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index, regular_samples
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm
+
+__all__ = ["CGMDominanceCounting"]
+
+
+class _Fenwick:
+    """Fenwick tree over slab ids, for the partial-bucket sweep."""
+
+    def __init__(self, size: int):
+        self.t = [0.0] * (size + 1)
+
+    def add(self, i: int, w: float) -> None:
+        i += 1
+        while i < len(self.t):
+            self.t[i] += w
+            i += i & (-i)
+
+    def prefix(self, i: int) -> float:
+        # sum of slabs 0..i-1
+        s = 0.0
+        while i > 0:
+            s += self.t[i]
+            i -= i & (-i)
+        return s
+
+
+class CGMDominanceCounting(SlabAlgorithm):
+    """Weighted dominance counts for a 2D point set.
+
+    Parameters
+    ----------
+    points:
+        ``(x, y)`` pairs.
+    v:
+        Number of virtual processors.
+    weights:
+        Optional per-point weights (default 1 each).
+
+    Output ``j`` is the list of ``(index, count)`` pairs for the points with
+    original indices in vp ``j``'s block share.
+    """
+
+    LAMBDA = 9
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]],
+        v: int,
+        weights: Sequence[float] | None = None,
+    ):
+        if weights is not None and len(weights) != len(points):
+            raise ValueError("weights must match points")
+        items = [
+            (i, p[0], p[1], 1.0 if weights is None else weights[i])
+            for i, p in enumerate(points)
+        ]
+        super().__init__(items, v)
+
+    def xkey(self, item) -> float:
+        return item[1]
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        v = ctx.nprocs
+        if rel_step == 0:
+            # y-sampling inside the slabs.
+            ys = sorted(p[2] for p in st["slab"])
+            ctx.charge(len(ys) * max(1, len(ys).bit_length()))
+            ctx.send(0, regular_samples(ys, self.SAMPLES_PER_VP * v))
+        elif rel_step == 1:
+            if ctx.pid == 0:
+                allsamples = sorted(s for m in ctx.incoming for s in m.payload)
+                ysplit = regular_samples(allsamples, v - 1)
+                ctx.charge(len(allsamples))
+                for dest in range(v):
+                    ctx.send(dest, ysplit)
+        elif rel_step == 2:
+            ysplit = list(ctx.incoming[0].payload)
+            st["ysplit"] = ysplit
+            # Within-slab dominance: sweep by x (equal-x groups together)
+            # with a Fenwick tree over compressed y ranks.
+            slab_pts = st["slab"]
+            ys_sorted = sorted({p[2] for p in slab_pts})
+            fw_local = _Fenwick(len(ys_sorted))
+            within: dict[int, float] = {}
+            ordered = sorted(slab_pts, key=lambda t: t[1])
+            i = 0
+            while i < len(ordered):
+                j = i
+                while j < len(ordered) and ordered[j][1] == ordered[i][1]:
+                    j += 1
+                for idx, x, y, w in ordered[i:j]:
+                    within[idx] = fw_local.prefix(bisect.bisect_left(ys_sorted, y))
+                for idx, x, y, w in ordered[i:j]:
+                    fw_local.add(bisect.bisect_left(ys_sorted, y), w)
+                i = j
+            # Column of the grid matrix: weight per y-bucket in this slab.
+            col = [0.0] * v
+            by_bucket: dict[int, list] = {}
+            for idx, x, y, w in slab_pts:
+                b = bisect.bisect_right(ysplit, y)
+                col[b] += w
+                by_bucket.setdefault(b, []).extend((idx, ctx.pid, y, w, within[idx]))
+            ctx.charge(len(slab_pts) * max(1, max(len(slab_pts), 1).bit_length()))
+            ctx.send(0, ["C", ctx.pid] + col)
+            for b, payload in sorted(by_bucket.items()):
+                ctx.send(b, ["P"] + payload)
+        elif rel_step == 3:
+            # Stash bucket points; vp 0 assembles and broadcasts the matrix.
+            pts = []
+            matrix_cols: dict[int, list[float]] = {}
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                tag = next(it)
+                if tag == "P":
+                    for idx in it:
+                        pts.append((idx, next(it), next(it), next(it), next(it)))
+                elif tag == "C":
+                    slab = next(it)
+                    matrix_cols[slab] = list(it)
+            st["bucket_pts"] = pts
+            if ctx.pid == 0:
+                flat: list[float] = []
+                for slab in range(v):
+                    col = matrix_cols.get(slab, [0.0] * v)
+                    flat.extend(col)
+                ctx.charge(v * v)
+                for dest in range(v):
+                    ctx.send(dest, flat)
+        elif rel_step == 4:
+            flat = list(ctx.incoming[0].payload)
+            v2 = ctx.nprocs
+            # matrix[slab][bucket] weights; prefix over slabs < j, buckets < b.
+            matrix = [flat[s * v2 : (s + 1) * v2] for s in range(v2)]
+            below_left = [[0.0] * (v2 + 1) for _ in range(v2 + 1)]
+            for s in range(v2):
+                for b in range(v2):
+                    below_left[s + 1][b + 1] = (
+                        matrix[s][b]
+                        + below_left[s][b + 1]
+                        + below_left[s + 1][b]
+                        - below_left[s][b]
+                    )
+            b_mine = ctx.pid  # this vp owns y-bucket == its pid
+            fw = _Fenwick(v2)
+            results: dict[int, list] = {}
+            pts = sorted(st["bucket_pts"], key=lambda t: (t[2], t[1]))
+            i = 0
+            n_pts = len(pts)
+            while i < n_pts:
+                # Process equal-y groups together (strict dominance in y).
+                j = i
+                while j < n_pts and pts[j][2] == pts[i][2]:
+                    j += 1
+                for idx, slab, y, w, within in pts[i:j]:
+                    partial = fw.prefix(slab)  # earlier slabs, smaller y, same bucket
+                    full = below_left[slab][b_mine]  # earlier slabs, lower buckets
+                    cnt = partial + full + within  # within: own slab, x'<x, y'<y
+                    home = owner_of_index(idx, self.n, v2)
+                    results.setdefault(home, []).extend((idx, cnt))
+                for idx, slab, y, w, within in pts[i:j]:
+                    fw.add(slab, w)
+                i = j
+            ctx.charge(n_pts * max(1, v2.bit_length()))
+            ctx.send_all(results)
+        elif rel_step == 5:
+            got = []
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for idx in it:
+                    got.append((idx, next(it)))
+            st["counts"] = sorted(got)
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state.get("counts", [])

@@ -1,0 +1,137 @@
+"""CGM lower envelope of non-intersecting line segments (Table 1, Group B).
+
+The *lower envelope* of a set of pairwise non-crossing segments maps every
+x to the segment visible from ``y = -infinity``.  Slab decomposition: every
+segment is routed to each x-slab it crosses, every slab computes its local
+envelope with a plane sweep (non-crossing segments admit a consistent
+order-by-y-at-current-x), and vp 0 concatenates the slab envelopes — slabs
+partition the x-axis, so concatenation in slab order is the global answer.
+``lambda = O(1)``.
+
+Output: a list of envelope pieces ``(x_from, x_to, segment_index)`` sorted
+by ``x_from`` with maximal pieces (adjacent pieces of the same segment are
+merged); gaps (no segment overhead) are simply absent from the list.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm
+
+__all__ = ["CGMLowerEnvelope", "envelope_sweep"]
+
+Segment = tuple[float, float, float, float]  # x1, y1, x2, y2 with x1 <= x2
+
+
+def _y_at(seg: Segment, x: float) -> float:
+    x1, y1, x2, y2 = seg
+    if x2 == x1:
+        return min(y1, y2)
+    t = (x - x1) / (x2 - x1)
+    return y1 + t * (y2 - y1)
+
+
+def envelope_sweep(
+    segments: Sequence[tuple[int, Segment]],
+    lo: float = float("-inf"),
+    hi: float = float("inf"),
+) -> list[tuple[float, float, int]]:
+    """Lower envelope of (id, segment) pairs restricted to ``[lo, hi]``.
+
+    Sequential sweep over endpoint events; ``O((k log k + k^2)`` in the
+    worst case via linear minimum scans — the per-slab subproblems are
+    small, and this also serves as the test oracle.
+    """
+    events: list[float] = []
+    clipped: list[tuple[int, Segment]] = []
+    for sid, (x1, y1, x2, y2) in segments:
+        a, b = max(x1, lo), min(x2, hi)
+        if a > b:
+            continue
+        clipped.append((sid, (x1, y1, x2, y2)))
+        events.extend((a, b))
+    if not clipped:
+        return []
+    xs = sorted(set(events))
+    pieces: list[tuple[float, float, int]] = []
+    for xa, xb in zip(xs, xs[1:]):
+        xm = (xa + xb) / 2
+        best = None
+        for sid, seg in clipped:
+            if seg[0] <= xm <= seg[2]:
+                y = _y_at(seg, xm)
+                if best is None or y < best[0]:
+                    best = (y, sid)
+        if best is not None:
+            if pieces and pieces[-1][2] == best[1] and pieces[-1][1] == xa:
+                pieces[-1] = (pieces[-1][0], xb, best[1])
+            else:
+                pieces.append((xa, xb, best[1]))
+    return pieces
+
+
+class CGMLowerEnvelope(SlabAlgorithm):
+    """Lower envelope of non-crossing segments ``(x1, y1, x2, y2)``.
+
+    Output 0 is the piece list ``(x_from, x_to, segment_index)``; other vps
+    output empty lists.
+    """
+
+    LAMBDA = 5
+
+    def __init__(self, segments: Sequence[Segment], v: int):
+        for x1, _y1, x2, _y2 in segments:
+            if x1 > x2:
+                raise ValueError("segments must satisfy x1 <= x2")
+        items = [(i, tuple(s)) for i, s in enumerate(segments)]
+        super().__init__(items, v)
+
+    def xkey(self, item) -> float:
+        return item[1][0]
+
+    def duplication_factor(self) -> int:
+        return self.v  # a segment may span every slab
+
+    def slab_range(self, item, splitters, v) -> range:
+        _sid, (x1, _y1, x2, _y2) = item
+        lo = bisect.bisect_right(splitters, x1)
+        hi = bisect.bisect_left(splitters, x2)
+        return range(lo, min(hi, v - 1) + 1)
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        if rel_step == 0:
+            split = st["splitters"]
+            lo = split[ctx.pid - 1] if ctx.pid > 0 else float("-inf")
+            hi = split[ctx.pid] if ctx.pid < len(split) else float("inf")
+            pieces = envelope_sweep(st["slab"], lo, hi)
+            ctx.charge(len(st["slab"]) * max(1, max(len(st["slab"]), 1).bit_length()))
+            ctx.send(0, ["E", ctx.pid] + [c for p in pieces for c in p])
+        elif rel_step == 1:
+            if ctx.pid == 0:
+                by_slab: dict[int, list[tuple[float, float, int]]] = {}
+                for m in ctx.incoming:
+                    it = iter(m.payload)
+                    tag = next(it)
+                    assert tag == "E"
+                    slab = next(it)
+                    ps = []
+                    for xa in it:
+                        ps.append((xa, next(it), int(next(it))))
+                    by_slab[slab] = ps
+                merged: list[tuple[float, float, int]] = []
+                for slab in sorted(by_slab):
+                    for xa, xb, sid in by_slab[slab]:
+                        if merged and merged[-1][2] == sid and merged[-1][1] == xa:
+                            merged[-1] = (merged[-1][0], xb, sid)
+                        else:
+                            merged.append((xa, xb, sid))
+                st["envelope"] = merged
+                ctx.charge(len(merged))
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state.get("envelope", [])

@@ -1,0 +1,61 @@
+"""CGM 2D convex hull (Table 1, Group B, "3D convex hull / Voronoi" row).
+
+Slab decomposition: points are routed into x-slabs, each vp computes the
+convex hull of its slab, and the slab hulls' vertices — the only possible
+global hull vertices — are gathered and combined at vp 0.  ``lambda = O(1)``
+communication rounds.
+
+DESIGN.md documents the substitution: the paper's Group B row cites the
+*randomized 3D* hull of Dehne et al. [16]; this module reproduces the same
+simulation-relevant structure (sample-based x-splitting, O(1) rounds,
+``h = O(n/v)`` relations) in 2D, where the combine step is elementary.  The
+gather step relies on the usual CGM coarseness assumption that the slab
+hulls' total size is ``O(n/v)`` (true whp for the benchmark's random inputs
+and for any input whose hull has ``O(n/v)`` vertices).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm, convex_hull
+
+__all__ = ["CGMConvexHull"]
+
+
+class CGMConvexHull(SlabAlgorithm):
+    """Convex hull of a 2D point set.
+
+    Output 0 is the hull in counter-clockwise order (starting at the
+    lexicographically smallest vertex); other vps output empty lists.
+    """
+
+    LAMBDA = 5
+
+    def __init__(self, points: Sequence[tuple[float, float]], v: int):
+        super().__init__(points, v)
+
+    def xkey(self, item) -> float:
+        return item[0]
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        if rel_step == 0:
+            local = convex_hull(st["slab"]) if st["slab"] else []
+            ctx.charge(len(st["slab"]) * max(1, len(st["slab"]).bit_length()))
+            payload = [c for p in local for c in p]
+            ctx.send(0, payload)
+        elif rel_step == 1:
+            if ctx.pid == 0:
+                candidates = []
+                for m in ctx.incoming:
+                    it = iter(m.payload)
+                    for x in it:
+                        candidates.append((x, next(it)))
+                st["hull"] = convex_hull(candidates) if candidates else []
+                ctx.charge(len(candidates) * max(1, len(candidates).bit_length()))
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state.get("hull", [])

@@ -1,0 +1,199 @@
+"""3D convex hull (Table 1, Group B, "3D convex hull" row).
+
+Sequential kernel: randomized-order incremental hull with horizon walking
+(the textbook algorithm) — ``O(n^2)`` worst case, ample for the per-slab
+subproblems.  Points are expected in general position (no 4 coplanar on
+the hull), which the workload generators provide.
+
+CGM algorithm (:class:`CGM3DConvexHull`): points are routed into x-slabs,
+every slab computes the hull of its slab and forwards the hull *vertices*
+to vp 0, which finishes on the candidates.  This is **exact**: a vertex of
+the global hull admits a supporting plane, which also supports it within
+its slab's subset — so global hull vertices are always among the slabs'
+local hull vertices.  ``lambda = O(1)`` rounds under the usual CGM
+coarseness assumption that the candidate set fits one virtual processor
+(true whp for random inputs: an ``n``-point uniform sample has
+``O(polylog)``–``O(n^{2/3})`` hull vertices depending on the distribution).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm
+
+__all__ = ["convex_hull_3d", "CGM3DConvexHull"]
+
+Point3 = tuple[float, float, float]
+
+
+def _sub(a: Point3, b: Point3) -> Point3:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def _cross3(a: Point3, b: Point3) -> Point3:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def _dot(a: Point3, b: Point3) -> float:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def _orient(a: Point3, b: Point3, c: Point3, d: Point3) -> float:
+    """Signed volume of tetrahedron ``abcd`` (positive: ``d`` above ``abc``)."""
+    return _dot(_cross3(_sub(b, a), _sub(c, a)), _sub(d, a))
+
+
+def convex_hull_3d(points: Sequence[Point3]) -> list[tuple[int, int, int]]:
+    """Faces of the 3D convex hull as sorted index triples.
+
+    Incremental construction: seed a tetrahedron from four non-coplanar
+    points, then insert the rest; visible faces are deleted and the horizon
+    is re-capped with new faces through the inserted point.  Raises
+    :class:`ValueError` for fewer than 4 points or a degenerate (coplanar)
+    input set.
+    """
+    n = len(points)
+    pts = [tuple(p) for p in points]
+    if n < 4:
+        raise ValueError("3D hull needs at least 4 points")
+    if len(set(pts)) != n:
+        raise ValueError("duplicate points")
+
+    scale = max(
+        max(abs(c) for c in p) for p in pts
+    ) or 1.0
+    eps = 1e-9 * scale**3
+
+    # Seed tetrahedron: points 0, i (not equal), j (not collinear),
+    # k (not coplanar).
+    i1 = next((i for i in range(1, n) if pts[i] != pts[0]), None)
+    i2 = next(
+        (
+            i
+            for i in range(1, n)
+            if i != i1
+            and any(
+                abs(c) > eps
+                for c in _cross3(_sub(pts[i1], pts[0]), _sub(pts[i], pts[0]))
+            )
+        ),
+        None,
+    )
+    i3 = next(
+        (
+            i
+            for i in range(1, n)
+            if i not in (i1, i2) and abs(_orient(pts[0], pts[i1], pts[i2], pts[i])) > eps
+        ),
+        None,
+    )
+    if i2 is None or i3 is None:
+        raise ValueError("degenerate input: all points coplanar")
+
+    seed = [0, i1, i2, i3]
+    centroid = tuple(
+        sum(pts[s][d] for s in seed) / 4.0 for d in range(3)
+    )
+
+    def outward(a: int, b: int, c: int) -> tuple[int, int, int]:
+        va, vb, vc = pts[a], pts[b], pts[c]
+        normal_side = _orient(va, vb, vc, centroid)
+        return (a, b, c) if normal_side < 0 else (a, c, b)
+
+    faces: set[tuple[int, int, int]] = {
+        outward(0, i1, i2),
+        outward(0, i1, i3),
+        outward(0, i2, i3),
+        outward(i1, i2, i3),
+    }
+
+    for p in range(n):
+        if p in seed:
+            continue
+        visible = [
+            f for f in faces if _orient(pts[f[0]], pts[f[1]], pts[f[2]], pts[p]) > eps
+        ]
+        if not visible:
+            continue  # inside the current hull
+        # Horizon: directed edges of visible faces whose reverse is not
+        # in another visible face.
+        vis_edges = set()
+        for a, b, c in visible:
+            vis_edges.update(((a, b), (b, c), (c, a)))
+        horizon = [e for e in vis_edges if (e[1], e[0]) not in vis_edges]
+        for f in visible:
+            faces.remove(f)
+        for a, b in horizon:
+            # Orient against the seed centroid, which stays strictly
+            # interior as the hull only grows.
+            faces.add(outward(a, b, p))
+    return sorted(tuple(sorted(f)) for f in faces)
+
+
+def hull_vertices_3d(points: Sequence[Point3]) -> list[int]:
+    """Indices of the points on the 3D convex hull."""
+    return sorted({i for f in convex_hull_3d(points) for i in f})
+
+
+class CGM3DConvexHull(SlabAlgorithm):
+    """3D convex hull of a point set in general position.
+
+    Output 0 is ``(vertices, faces)``: sorted original-index list of hull
+    vertices and sorted face triples; other vps output empty lists.
+    """
+
+    LAMBDA = 5
+
+    def __init__(self, points: Sequence[Point3], v: int):
+        items = [(i, tuple(p)) for i, p in enumerate(points)]
+        super().__init__(items, v)
+
+    def xkey(self, item) -> float:
+        return item[1][0]
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        if rel_step == 0:
+            pts = st["slab"]
+            payload = []
+            if len(pts) >= 4:
+                coords = [p for _i, p in pts]
+                try:
+                    keep = hull_vertices_3d(coords)
+                except ValueError:
+                    keep = list(range(len(pts)))  # degenerate slab: keep all
+            else:
+                keep = list(range(len(pts)))
+            for li in keep:
+                idx, (x, y, z) = pts[li]
+                payload.extend((idx, x, y, z))
+            ctx.charge(len(pts) ** 2)
+            ctx.send(0, payload)
+        elif rel_step == 1:
+            if ctx.pid == 0:
+                cand_idx = []
+                cand_pts = []
+                for m in ctx.incoming:
+                    it = iter(m.payload)
+                    for idx in it:
+                        cand_idx.append(idx)
+                        cand_pts.append((next(it), next(it), next(it)))
+                faces_local = convex_hull_3d(cand_pts)
+                faces = sorted(
+                    tuple(sorted(cand_idx[i] for i in f)) for f in faces_local
+                )
+                st["hull"] = (
+                    sorted({i for f in faces for i in f}),
+                    faces,
+                )
+                ctx.charge(len(cand_pts) ** 2)
+            ctx.vote_halt()
+
+    def output(self, pid: int, state):
+        return state.get("hull", [])

@@ -1,0 +1,132 @@
+"""CGM 2D all-nearest-neighbors (Table 1, Group B).
+
+For every input point, find the closest other input point.  Two-phase
+coarse-grained strategy:
+
+1. **Local candidates** — points are routed into x-slabs; each slab computes
+   every point's nearest neighbour *within the slab*, giving an upper bound
+   ``r_p`` on the true nearest-neighbour distance.
+2. **Windowed verification** — the true nearest neighbour of ``p`` lies
+   within ``r_p``, hence inside a slab intersecting ``[x_p - r_p, x_p +
+   r_p]``.  Each point is sent to exactly those slabs (one h-relation); they
+   answer with their best local candidate, and the point's home vp takes
+   the minimum.
+
+``lambda = O(1)`` rounds.  For inputs with balanced slab occupancy the
+duplication stays O(1) per point whp; a slab holding a single point
+degenerates to querying all slabs (still correct, costlier).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm
+
+__all__ = ["CGMAllNearestNeighbors"]
+
+
+def _d2(a, b) -> float:
+    return (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2
+
+
+class CGMAllNearestNeighbors(SlabAlgorithm):
+    """Nearest neighbour of every point of a 2D set (n >= 2).
+
+    Output ``j`` holds ``(index, nn_index)`` pairs for the points whose
+    indices fall in vp ``j``'s block share.
+    """
+
+    LAMBDA = 6
+
+    def __init__(self, points: Sequence[tuple[float, float]], v: int):
+        if len(points) < 2:
+            raise ValueError("all-nearest-neighbors needs at least two points")
+        items = [(i, tuple(p)) for i, p in enumerate(points)]
+        super().__init__(items, v)
+
+    def xkey(self, item) -> float:
+        return item[1][0]
+
+    def duplication_factor(self) -> int:
+        return 4  # expected; degenerate slabs may exceed (declared headroom)
+
+    def comm_bound(self) -> int:
+        # Verification can fan out; budget generously.
+        return 1024 + 16 * self.v * max(4, -(-self.n // self.v))
+
+    def context_size(self) -> int:
+        return 4096 + 32 * self.v * max(4, -(-self.n // self.v))
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        if rel_step == 0:
+            pts = st["slab"]
+            split = st["splitters"]
+            queries: dict[int, list] = {}
+            home_msgs: dict[int, list] = {}
+            for qi, (qx, qy) in pts:
+                best_d2, best_id = math.inf, -1
+                for oi, op in pts:
+                    if oi != qi:
+                        d = _d2((qx, qy), op)
+                        if d < best_d2 or (d == best_d2 and oi < best_id):
+                            best_d2, best_id = d, oi
+                home = owner_of_index(qi, self.n, ctx.nprocs)
+                home_msgs.setdefault(home, []).extend(("H", qi, best_d2, best_id))
+                r = math.sqrt(best_d2) if best_d2 < math.inf else math.inf
+                lo = 0 if r == math.inf else bisect.bisect_right(split, qx - r)
+                hi = (
+                    ctx.nprocs - 1
+                    if r == math.inf
+                    else bisect.bisect_right(split, qx + r)
+                )
+                for j in range(lo, min(hi, ctx.nprocs - 1) + 1):
+                    if j != ctx.pid:
+                        queries.setdefault(j, []).extend(("Q", qi, qx, qy))
+            ctx.charge(len(pts) * len(pts))
+            ctx.send_all(home_msgs)
+            ctx.send_all(queries)
+        elif rel_step == 1:
+            # Answer remote queries; also bank candidates that arrived for
+            # points whose home is this vp.
+            st["best"] = {}
+            replies: dict[int, list] = {}
+            pts = st["slab"]
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "H":  # home candidate ("H", qi, d2, id)
+                        qi, d2v, nid = next(it), next(it), next(it)
+                        cur = st["best"].get(qi)
+                        if cur is None or (d2v, nid) < cur:
+                            st["best"][qi] = (d2v, nid)
+                    else:  # remote query ("Q", qi, x, y)
+                        qi, qx, qy = next(it), next(it), next(it)
+                        best_d2, best_id = math.inf, -1
+                        for oi, op in pts:
+                            if oi != qi:
+                                d = _d2((qx, qy), op)
+                                if d < best_d2 or (d == best_d2 and oi < best_id):
+                                    best_d2, best_id = d, oi
+                        home = owner_of_index(qi, self.n, ctx.nprocs)
+                        replies.setdefault(home, []).extend((qi, best_d2, best_id))
+            ctx.charge(sum(len(m.payload) for m in ctx.incoming) * max(1, len(pts)))
+            ctx.send_all(replies)
+        elif rel_step == 2:
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for qi in it:
+                    d2v, nid = next(it), next(it)
+                    cur = st["best"].get(qi)
+                    if cur is None or (d2v, nid) < cur:
+                        st["best"][qi] = (d2v, nid)
+            st["result"] = sorted((qi, nid) for qi, (_d, nid) in st["best"].items())
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state.get("result", [])

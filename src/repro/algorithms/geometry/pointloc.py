@@ -1,0 +1,109 @@
+"""CGM next-element search / batched planar point location (Table 1, Group B).
+
+*Next element search on line segments*: given non-crossing segments and
+query points, find for each query the first segment hit by an upward
+vertical ray.  This primitive drives trapezoidal decomposition, polygon
+triangulation, and batched planar point location (locating a point in the
+subdivision induced by the segments), which the paper's Table 1 groups into
+neighbouring rows.
+
+Slab decomposition: segments are routed to every slab they cross, queries to
+the slab containing their x; each slab answers its queries locally — the
+segments crossing a vertical line are totally ordered by y (non-crossing),
+so evaluation at the query's x plus a minimum scan suffices.
+``lambda = O(1)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index
+from ...bsp.program import VPContext
+from .common import SlabAlgorithm
+from .envelope import _y_at
+
+__all__ = ["CGMNextElementSearch"]
+
+Segment = tuple[float, float, float, float]
+
+
+class CGMNextElementSearch(SlabAlgorithm):
+    """For each query point, the segment immediately above it (or ``None``).
+
+    Parameters
+    ----------
+    segments:
+        Non-crossing segments ``(x1, y1, x2, y2)`` with ``x1 <= x2``.
+    queries:
+        Query points ``(x, y)``.
+    v:
+        Number of virtual processors.
+
+    Output ``j`` holds ``(query_index, segment_index_or_-1)`` pairs for the
+    queries whose indices fall in vp ``j``'s block share.
+    """
+
+    LAMBDA = 5
+
+    def __init__(
+        self,
+        segments: Sequence[Segment],
+        queries: Sequence[tuple[float, float]],
+        v: int,
+    ):
+        for x1, _y1, x2, _y2 in segments:
+            if x1 > x2:
+                raise ValueError("segments must satisfy x1 <= x2")
+        items = [("s", i, tuple(s)) for i, s in enumerate(segments)] + [
+            ("q", i, tuple(q)) for i, q in enumerate(queries)
+        ]
+        super().__init__(items, v)
+        self.nqueries = len(queries)
+
+    def xkey(self, item) -> float:
+        kind, _i, obj = item
+        return obj[0]
+
+    def duplication_factor(self) -> int:
+        return self.v
+
+    def slab_range(self, item, splitters, v) -> range:
+        kind, _i, obj = item
+        if kind == "q":
+            j = bisect.bisect_right(splitters, obj[0])
+            return range(j, j + 1)
+        x1, _y1, x2, _y2 = obj
+        lo = bisect.bisect_right(splitters, x1)
+        hi = bisect.bisect_right(splitters, x2)
+        return range(lo, min(hi, v - 1) + 1)
+
+    def process(self, ctx: VPContext, rel_step: int) -> None:
+        st = ctx.state
+        if rel_step == 0:
+            segs = [(i, obj) for kind, i, obj in st["slab"] if kind == "s"]
+            queries = [(i, obj) for kind, i, obj in st["slab"] if kind == "q"]
+            results: dict[int, list] = {}
+            for qi, (qx, qy) in queries:
+                best_y, best_sid = float("inf"), -1
+                for sid, seg in segs:
+                    if seg[0] <= qx <= seg[2]:
+                        y = _y_at(seg, qx)
+                        if qy <= y < best_y:
+                            best_y, best_sid = y, sid
+                home = owner_of_index(qi, self.nqueries, ctx.nprocs)
+                results.setdefault(home, []).extend((qi, best_sid))
+            ctx.charge(len(queries) * max(1, max(len(segs), 1).bit_length()))
+            ctx.send_all(results)
+        elif rel_step == 1:
+            got = []
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for qi in it:
+                    got.append((qi, next(it)))
+            st["answers"] = sorted(got)
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state.get("answers", [])

@@ -1,0 +1,262 @@
+"""CGM segment tree construction + batched stabbing queries (Table 1, Group B).
+
+The "Segment tree construction" entry of the Group B row, as a two-level
+coarse-grained structure (the scheme of Chan–Dehne–Rau-Chaplin [12]):
+
+* the **top tree** is a complete binary tree over the ``v`` x-slabs (heap
+  indexing, ``O(v)`` nodes); node ``t`` is owned by vp ``t mod v``.  An
+  interval's *fully covered* slabs are registered at the ``O(log v)``
+  canonical cover nodes — the textbook segment-tree decomposition, but over
+  slabs instead of elementary intervals;
+* the at most two *partially covered* end slabs receive the interval for
+  their **local fine segment trees** (:class:`SegmentTree`, a from-scratch
+  sequential implementation over the slab's endpoint coordinates).
+
+A stabbing query ``x`` visits its slab's fine tree plus the owners of the
+``O(log v)`` top-tree path nodes of that slab — every interval registered
+at a path node covers the whole slab and therefore matches without any
+coordinate test (the defining segment-tree property).  ``lambda = O(1)``
+supersteps, ``h = O((n + q) log v / v)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index, regular_samples, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["SegmentTree", "CGMSegmentTreeStab"]
+
+
+class SegmentTree:
+    """Sequential segment tree over a coordinate set, storing intervals.
+
+    Classic construction: leaves are the elementary intervals between
+    consecutive coordinates; ``insert`` registers an interval at its
+    ``O(log n)`` canonical nodes; ``stab`` walks root→leaf collecting ids.
+    """
+
+    def __init__(self, coords: Sequence[float]):
+        self.xs = sorted(set(coords))
+        nleaf = max(1, len(self.xs) + 1)  # elementary intervals incl. outer rays
+        size = 1
+        while size < nleaf:
+            size *= 2
+        self.size = size
+        self.ids: dict[int, list] = {}
+
+    def _leaf_of(self, x: float) -> int:
+        return bisect.bisect_right(self.xs, x)
+
+    def insert(self, lo: float, hi: float, ident) -> None:
+        """Register interval ``[lo, hi]`` (closed) under id ``ident``."""
+        # Leaf range of elementary intervals wholly inside [lo, hi], plus
+        # the boundary leaves (closed interval semantics handled at stab).
+        l = bisect.bisect_left(self.xs, lo)
+        r = bisect.bisect_right(self.xs, hi)
+        self._insert_leaves(l, r, ident, lo, hi)
+
+    def _insert_leaves(self, l: int, r: int, ident, lo, hi) -> None:
+        l += self.size
+        r += self.size + 1
+        while l < r:
+            if l & 1:
+                self.ids.setdefault(l, []).append((ident, lo, hi))
+                l += 1
+            if r & 1:
+                r -= 1
+                self.ids.setdefault(r, []).append((ident, lo, hi))
+            l >>= 1
+            r >>= 1
+
+    def stab(self, x: float) -> list:
+        """Ids of all inserted intervals containing ``x``."""
+        node = self._leaf_of(x) + self.size
+        out = []
+        while node >= 1:
+            for ident, lo, hi in self.ids.get(node, []):
+                if lo <= x <= hi:
+                    out.append(ident)
+            node >>= 1
+        return sorted(set(out))
+
+
+def _top_cover(lo_slab: int, hi_slab: int, size: int) -> list[int]:
+    """Canonical top-tree nodes covering slab range [lo_slab, hi_slab]."""
+    if lo_slab > hi_slab:
+        return []
+    out = []
+    l = lo_slab + size
+    r = hi_slab + size + 1
+    while l < r:
+        if l & 1:
+            out.append(l)
+            l += 1
+        if r & 1:
+            r -= 1
+            out.append(r)
+        l >>= 1
+        r >>= 1
+    return out
+
+
+def _top_path(slab: int, size: int) -> list[int]:
+    node = slab + size
+    out = []
+    while node >= 1:
+        out.append(node)
+        node >>= 1
+    return out
+
+
+class CGMSegmentTreeStab(BSPAlgorithm):
+    """Build a distributed segment tree over ``intervals`` and answer
+    batched stabbing queries.
+
+    Output ``j`` is the list of ``(query_index, sorted interval ids)`` for
+    the queries in vp ``j``'s block share.
+    """
+
+    LAMBDA = 5
+    SAMPLES_PER_VP = 4
+
+    def __init__(
+        self,
+        intervals: Sequence[tuple[float, float]],
+        queries: Sequence[float],
+        v: int,
+    ):
+        for a, b in intervals:
+            if a > b:
+                raise ValueError(f"malformed interval ({a},{b})")
+        self.intervals = [tuple(iv) for iv in intervals]
+        self.queries = list(queries)
+        self.v = v
+        self.n = len(intervals)
+        self.nq = len(queries)
+        size = 1
+        while size < v:
+            size *= 2
+        self.top_size = size
+
+    def context_size(self) -> int:
+        per = 16
+        vlog = max(1, self.v.bit_length())
+        return 4096 + per * (
+            2 * vlog * max(1, self.n) // max(1, self.v) * 4
+            + 4 * -(-max(self.nq, 1) // self.v)
+            + 4 * -(-max(self.n, 1) // self.v)
+        )
+
+    def comm_bound(self) -> int:
+        vlog = max(1, self.v.bit_length())
+        return 1024 + 16 * vlog * (
+            -(-max(self.n, 1) // self.v) + -(-max(self.nq, 1) // self.v) + self.v
+        )
+
+    def initial_state(self, pid: int, nprocs: int):
+        ilo, ihi = share_bounds(self.n, nprocs, pid)
+        qlo, qhi = share_bounds(self.nq, nprocs, pid)
+        return {
+            "myintervals": [(i, *self.intervals[i]) for i in range(ilo, ihi)],
+            "myqueries": [(qi, self.queries[qi]) for qi in range(qlo, qhi)],
+            "splitters": None,
+            "local": None,
+            "topids": {},
+            "answers": {},
+        }
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        v = ctx.nprocs
+        if ctx.step == 0:
+            xs = sorted(
+                [a for _i, a, _b in st["myintervals"]]
+                + [b for _i, _a, b in st["myintervals"]]
+                + [x for _qi, x in st["myqueries"]]
+            )
+            ctx.charge(len(xs) * max(1, len(xs)).bit_length())
+            ctx.send(0, regular_samples(xs, self.SAMPLES_PER_VP * v))
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                allsamples = sorted(s for m in ctx.incoming for s in m.payload)
+                splitters = regular_samples(allsamples, v - 1)
+                ctx.charge(len(allsamples))
+                for dest in range(v):
+                    ctx.send(dest, splitters)
+        elif ctx.step == 2:
+            split = list(ctx.incoming[0].payload)
+            st["splitters"] = split
+            by_dest: dict[int, list] = {}
+
+            def slab_of(x: float) -> int:
+                return bisect.bisect_right(split, x)
+
+            for i, a, b in st["myintervals"]:
+                sa, sb = slab_of(a), slab_of(b)
+                by_dest.setdefault(sa, []).extend(("I", i, a, b))
+                if sb != sa:
+                    by_dest.setdefault(sb, []).extend(("I", i, a, b))
+                for node in _top_cover(sa + 1, sb - 1, self.top_size):
+                    by_dest.setdefault(node % v, []).extend(("T", node, i))
+            for qi, x in st["myqueries"]:
+                sx = slab_of(x)
+                by_dest.setdefault(sx, []).extend(("Q", qi, x))
+                for node in _top_path(sx, self.top_size):
+                    by_dest.setdefault(node % v, []).extend(("P", qi, node))
+            ctx.charge(
+                (len(st["myintervals"]) + len(st["myqueries"]))
+                * max(1, v.bit_length())
+            )
+            ctx.send_all(by_dest)
+            st["myintervals"] = []
+            st["myqueries"] = []
+        elif ctx.step == 3:
+            local_ivs = []
+            topids: dict[int, list[int]] = {}
+            pending_q = []
+            pending_p = []
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "I":
+                        local_ivs.append((next(it), next(it), next(it)))
+                    elif tag == "T":
+                        node, ident = next(it), next(it)
+                        topids.setdefault(node, []).append(ident)
+                    elif tag == "Q":
+                        pending_q.append((next(it), next(it)))
+                    else:
+                        pending_p.append((next(it), next(it)))
+            # Local fine segment tree over this slab's interval endpoints.
+            coords = [a for _i, a, _b in local_ivs] + [b for _i, _a, b in local_ivs]
+            tree = SegmentTree(coords)
+            for ident, a, b in local_ivs:
+                tree.insert(a, b, ident)
+            ctx.charge(
+                (len(local_ivs) + len(pending_q))
+                * max(1, max(len(coords), 1).bit_length())
+            )
+            by_dest: dict[int, list] = {}
+            for qi, x in pending_q:
+                ids = tree.stab(x)
+                home = owner_of_index(qi, self.nq, v)
+                by_dest.setdefault(home, []).extend(["A", qi, len(ids)] + ids)
+            for qi, node in pending_p:
+                ids = topids.get(node, [])
+                home = owner_of_index(qi, self.nq, v)
+                by_dest.setdefault(home, []).extend(["A", qi, len(ids)] + ids)
+            ctx.send_all(by_dest)
+        else:
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    qi, cnt = next(it), next(it)
+                    ids = [next(it) for _ in range(cnt)]
+                    st["answers"].setdefault(qi, set()).update(ids)
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return sorted((qi, sorted(ids)) for qi, ids in state["answers"].items())

@@ -1,0 +1,93 @@
+"""CGM uni- and multi-directional separability (Table 1, Group B).
+
+Two point sets are *separable in direction d* if a line perpendicular to
+``d`` has all red points strictly on its negative side and all blue points
+on its positive side — equivalently, ``max_red <d, r> < min_blue <d, b>``
+(projections onto ``d``).  Multi-directional separability asks the question
+for a whole batch of directions at once.
+
+The coarse-grained algorithm is a pure reduction: every vp computes local
+projection extrema for all directions, vp 0 combines and broadcasts the
+verdicts.  ``lambda = O(1)`` with ``h = O(#directions)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.collectives import share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMSeparability"]
+
+Point = tuple[float, float]
+
+
+class CGMSeparability(BSPAlgorithm):
+    """Decide separability of red/blue point sets for each given direction.
+
+    Output 0 is a list of booleans, one per direction (True = separable,
+    red side negative); other vps output empty lists.
+    """
+
+    LAMBDA = 3
+
+    def __init__(
+        self,
+        red: Sequence[Point],
+        blue: Sequence[Point],
+        directions: Sequence[Point],
+        v: int,
+    ):
+        if not directions:
+            raise ValueError("at least one direction is required")
+        self.red = [tuple(p) for p in red]
+        self.blue = [tuple(p) for p in blue]
+        self.directions = [tuple(d) for d in directions]
+        self.v = v
+
+    def context_size(self) -> int:
+        n = len(self.red) + len(self.blue)
+        return 1024 + 16 * (4 * -(-max(n, 1) // self.v) + 4 * len(self.directions))
+
+    def comm_bound(self) -> int:
+        return 256 + 8 * 2 * len(self.directions) * max(1, self.v)
+
+    def initial_state(self, pid: int, nprocs: int):
+        rlo, rhi = share_bounds(len(self.red), nprocs, pid)
+        blo, bhi = share_bounds(len(self.blue), nprocs, pid)
+        return {
+            "red": self.red[rlo:rhi],
+            "blue": self.blue[blo:bhi],
+            "verdicts": None,
+        }
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.step == 0:
+            payload: list[float] = []
+            for dx, dy in self.directions:
+                rmax = max(
+                    (p[0] * dx + p[1] * dy for p in st["red"]), default=float("-inf")
+                )
+                bmin = min(
+                    (p[0] * dx + p[1] * dy for p in st["blue"]), default=float("inf")
+                )
+                payload.extend((rmax, bmin))
+            ctx.charge(len(self.directions) * (len(st["red"]) + len(st["blue"])))
+            ctx.send(0, payload)
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                nd = len(self.directions)
+                rmax = [float("-inf")] * nd
+                bmin = [float("inf")] * nd
+                for m in ctx.incoming:
+                    for d in range(nd):
+                        rmax[d] = max(rmax[d], m.payload[2 * d])
+                        bmin[d] = min(bmin[d], m.payload[2 * d + 1])
+                st["verdicts"] = [rmax[d] < bmin[d] for d in range(nd)]
+                ctx.charge(nd * ctx.nprocs)
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list[bool]:
+        return state["verdicts"] if state["verdicts"] is not None else []

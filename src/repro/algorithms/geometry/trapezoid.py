@@ -1,0 +1,158 @@
+"""Trapezoidal decomposition and polygon triangulation (Table 1, Group B).
+
+The paper's row "Polygon triangulation, Trapezoidal decomposition, Segment
+tree construction, Next element search on line segments" bundles the
+classical pipeline [12]:
+
+* **Trapezoidal decomposition** — for every segment endpoint, find the
+  segments immediately above and below (two batched next-element-search
+  passes, :class:`~repro.algorithms.geometry.pointloc.CGMNextElementSearch`
+  run on the segment set and its reflection).  The vertical extensions at
+  the endpoints partition the plane into trapezoids.
+* **Polygon triangulation** — the decomposition splits a simple polygon
+  into monotone pieces which are triangulated by linear scans; this module
+  provides the from-scratch ear-clipping kernel
+  (:func:`triangulate_polygon`) used by examples and tests, with the CGM
+  distribution carried by the decomposition step exactly as in [12].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ...bsp.runner import run_reference
+from .common import cross
+from .pointloc import CGMNextElementSearch
+
+__all__ = ["trapezoidal_decomposition", "triangulate_polygon"]
+
+Segment = tuple[float, float, float, float]
+
+
+def _default_run(alg, v):
+    return run_reference(alg, v)[0]
+
+
+def trapezoidal_decomposition(
+    segments: Sequence[Segment],
+    v: int,
+    run: Callable = _default_run,
+) -> list[dict]:
+    """Vertical decomposition induced by non-crossing segments.
+
+    For every segment endpoint, shoot rays up and down to the neighbouring
+    segments (or to infinity).  Returns one record per endpoint::
+
+        {"segment": i, "end": "left"|"right", "x": x, "y": y,
+         "above": j_or_-1, "below": j_or_-1}
+
+    — the wall set of the trapezoidal map (each vertical wall, with the
+    segments it connects), computed with two batched next-element-search
+    passes (``lambda = O(1)`` each).
+    """
+    queries = []
+    meta = []
+    for i, (x1, y1, x2, y2) in enumerate(segments):
+        queries.append((x1, y1))
+        meta.append((i, "left", x1, y1))
+        queries.append((x2, y2))
+        meta.append((i, "right", x2, y2))
+
+    eps = 1e-9
+    # Above pass: nudge the query up so the segment itself is not returned.
+    up_queries = [(x, y + eps) for x, y in queries]
+    above = {}
+    for part in run(CGMNextElementSearch(segments, up_queries, v), v):
+        for qi, sid in part:
+            above[qi] = sid
+    # Below pass: reflect in y and reuse the same machinery.
+    reflected = [(x1, -y1, x2, -y2) for x1, y1, x2, y2 in segments]
+    down_queries = [(x, -(y - eps)) for x, y in queries]
+    below = {}
+    for part in run(CGMNextElementSearch(reflected, down_queries, v), v):
+        for qi, sid in part:
+            below[qi] = sid
+
+    out = []
+    for qi, (i, end, x, y) in enumerate(meta):
+        out.append(
+            {
+                "segment": i,
+                "end": end,
+                "x": x,
+                "y": y,
+                "above": above[qi],
+                "below": below[qi],
+            }
+        )
+    return out
+
+
+def triangulate_polygon(
+    polygon: Sequence[tuple[float, float]],
+) -> list[tuple[int, int, int]]:
+    """Triangulate a simple polygon by ear clipping (from-scratch kernel).
+
+    ``polygon`` is a vertex list in counter-clockwise order (clockwise
+    inputs are reversed automatically).  Returns ``n - 2`` index triples.
+    ``O(n^2)`` — the sequential kernel of the Table 1 row; the CGM
+    distribution of the full pipeline goes through
+    :func:`trapezoidal_decomposition`.
+    """
+    n = len(polygon)
+    if n < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    pts = [tuple(p) for p in polygon]
+    if len(set(pts)) != n:
+        raise ValueError("repeated vertices")
+    area2 = sum(
+        pts[i][0] * pts[(i + 1) % n][1] - pts[(i + 1) % n][0] * pts[i][1]
+        for i in range(n)
+    )
+    if area2 == 0:
+        raise ValueError("degenerate polygon")
+    order = list(range(n)) if area2 > 0 else list(range(n - 1, -1, -1))
+
+    def is_ear(idx_list: list[int], pos: int) -> bool:
+        a = pts[idx_list[pos - 1]]
+        b = pts[idx_list[pos]]
+        c = pts[idx_list[(pos + 1) % len(idx_list)]]
+        if cross(a, b, c) <= 0:
+            return False  # reflex corner
+        for other in idx_list:
+            if other in (
+                idx_list[pos - 1],
+                idx_list[pos],
+                idx_list[(pos + 1) % len(idx_list)],
+            ):
+                continue
+            p = pts[other]
+            if (
+                cross(a, b, p) >= 0
+                and cross(b, c, p) >= 0
+                and cross(c, a, p) >= 0
+            ):
+                return False  # another vertex inside the candidate ear
+        return True
+
+    triangles = []
+    remaining = order[:]
+    guard = 0
+    while len(remaining) > 3:
+        guard += 1
+        if guard > 2 * n * n:  # pragma: no cover - defensive
+            raise ValueError("not a simple polygon (ear clipping stalled)")
+        clipped = False
+        for pos in range(len(remaining)):
+            if is_ear(remaining, pos):
+                a = remaining[pos - 1]
+                b = remaining[pos]
+                c = remaining[(pos + 1) % len(remaining)]
+                triangles.append(tuple(sorted((a, b, c))))
+                del remaining[pos]
+                clipped = True
+                break
+        if not clipped:
+            raise ValueError("not a simple polygon (no ear found)")
+    triangles.append(tuple(sorted(remaining)))
+    return sorted(triangles)

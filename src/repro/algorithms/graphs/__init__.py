@@ -1,0 +1,42 @@
+"""Group C of Table 1: CGM graph algorithms (``lambda = O(log p)`` rounds).
+
+* :class:`CGMListRanking` — list ranking / weighted suffix sums over lists.
+* :class:`CGMEulerTourSuccessor` — Euler tour construction for rooted trees.
+* :mod:`~repro.algorithms.graphs.treealgos` — depths, preorder, subtree
+  sizes via tour + ranking composition.
+* :class:`CGMConnectedComponents`, :class:`CGMSpanningForest` — forest
+  merging.
+"""
+
+from .biconnectivity import biconnected_components, root_tree
+from .connectivity import CGMConnectedComponents, CGMSpanningForest
+from .eardecomposition import ear_decomposition
+from .eulertour import CGMEulerTourSuccessor, arc_endpoints
+from .lca import batched_lca
+from .listranking import CGMListRanking
+from .rmq import CGMBatchedRMQ
+from .treealgos import (
+    euler_tour_positions,
+    preorder_numbers,
+    subtree_sizes,
+    tree_depths,
+)
+from .treecontraction import CGMExpressionEval
+
+__all__ = [
+    "CGMListRanking",
+    "CGMEulerTourSuccessor",
+    "arc_endpoints",
+    "CGMConnectedComponents",
+    "CGMSpanningForest",
+    "CGMBatchedRMQ",
+    "CGMExpressionEval",
+    "batched_lca",
+    "biconnected_components",
+    "root_tree",
+    "ear_decomposition",
+    "euler_tour_positions",
+    "tree_depths",
+    "preorder_numbers",
+    "subtree_sizes",
+]

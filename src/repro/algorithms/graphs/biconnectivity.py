@@ -1,0 +1,183 @@
+"""Biconnected components via the Tarjan–Vishkin reduction (Table 1, Group C).
+
+The classical parallel technique, composed entirely from this package's CGM
+building blocks — which is exactly how the paper envisages Group C rows
+("Ear and open ear decomposition, Biconnected components"):
+
+1. a **spanning tree** of the graph (:class:`CGMSpanningForest`),
+2. **rooting** it — an Euler tour over the unrooted tree; the direction of
+   each edge visited first is the downward one (:func:`root_tree`),
+3. **preorder numbers** and **subtree sizes** (Euler tour + list ranking),
+4. per-vertex extremes ``m(u)/M(u)`` over incident non-tree edges, then
+   ``low(v)/high(v)`` — preorder extremes over each subtree — by **batched
+   range-minimum queries** over the preorder sequence
+   (:class:`CGMBatchedRMQ`),
+5. the Tarjan–Vishkin **auxiliary graph** on the tree edges, whose
+   connected components (:class:`CGMConnectedComponents`) are the
+   biconnected components of ``G``.
+
+Every constituent is a CGM algorithm with ``lambda = O(1)`` or
+``O(log p)``, so the composition inherits the Group C complexity row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ...bsp.runner import run_reference
+from .connectivity import CGMConnectedComponents, CGMSpanningForest
+from .eulertour import CGMEulerTourSuccessor
+from .listranking import CGMListRanking
+from .rmq import CGMBatchedRMQ
+from .treealgos import preorder_numbers, subtree_sizes
+
+__all__ = ["root_tree", "biconnected_components"]
+
+
+def _default_run(alg, v):
+    return run_reference(alg, v)[0]
+
+
+def root_tree(
+    edges: Sequence[tuple[int, int]],
+    root: int,
+    v: int,
+    run: Callable = _default_run,
+) -> list[tuple[int, int]]:
+    """Orient an unrooted tree: return ``(parent, child)`` pairs rooted at ``root``.
+
+    The Euler tour from ``root`` visits each edge's downward direction
+    first; one tour construction plus one list ranking.
+    """
+    if not edges:
+        return []
+    narcs = 2 * len(edges)
+    succ = [0] * narcs
+    for part in run(CGMEulerTourSuccessor(edges, root, v, oriented=False), v):
+        for arc, nxt in part:
+            succ[arc] = nxt
+    ranks = [0] * narcs
+    for part in run(CGMListRanking(succ, v), v):
+        for node, r in part:
+            ranks[node] = r
+    # Larger rank = earlier tour position.
+    rooted = []
+    for k, (a, b) in enumerate(edges):
+        if ranks[2 * k] > ranks[2 * k + 1]:
+            rooted.append((a, b))  # a -> b visited first: a is the parent
+        else:
+            rooted.append((b, a))
+    return rooted
+
+
+def biconnected_components(
+    nverts: int,
+    edges: Sequence[tuple[int, int]],
+    v: int,
+    run: Callable = _default_run,
+) -> list[frozenset[tuple[int, int]]]:
+    """Biconnected components of an undirected graph, as edge sets.
+
+    ``edges`` are undirected pairs over vertices ``0..nverts-1``; the graph
+    may be disconnected (each component is processed by the same machinery —
+    the spanning forest and the auxiliary graph handle it uniformly).
+    Self-loops are rejected; parallel edges are merged.
+
+    Returns a list of frozensets of (normalized) edges, one per biconnected
+    component, in deterministic order.
+    """
+    edges = sorted({(min(a, b), max(a, b)) for a, b in edges})
+    for a, b in edges:
+        if a == b:
+            raise ValueError(f"self-loop ({a},{b}) not allowed")
+    if not edges:
+        return []
+
+    # 1. spanning forest
+    forest_ids = run(CGMSpanningForest(nverts, edges, v), v)[0]
+    tree_edges = [edges[i] for i in forest_ids]
+    tree_set = set(tree_edges)
+    nontree = [e for e in edges if e not in tree_set]
+
+    # 2. root every tree of the forest.  Components are independent; we
+    # root each at its smallest vertex.  (The drivers need a single tree,
+    # so we link the forest roots under a virtual super-root: a standard
+    # trick that adds |roots| edges and changes no biconnectivity — the
+    # super-root's edges are bridges and are dropped at the end.)
+    comp_label = {}
+    for part in run(CGMConnectedComponents(nverts, tree_edges, v), v):
+        comp_label.update(dict(part))
+    roots = sorted({comp_label[u] for u in range(nverts)})
+    superroot = nverts
+    linked = list(tree_edges) + [(superroot, r) for r in roots]
+    rooted = root_tree(linked, superroot, v, run)
+
+    # 3. preorder and subtree sizes on the rooted (super-)tree
+    pre = preorder_numbers(rooted, superroot, v, run)
+    size = subtree_sizes(rooted, superroot, v, run)
+    parent = {c: p for p, c in rooted}
+
+    # 4. m(u)/M(u): preorder extremes over {u} and non-tree neighbours;
+    # low/high per vertex via RMQ over the preorder-ordered sequence.
+    n_all = nverts + 1
+    m_val = [pre[u] for u in range(n_all)]
+    M_val = [pre[u] for u in range(n_all)]
+    for a, b in nontree:
+        m_val[a] = min(m_val[a], pre[b])
+        m_val[b] = min(m_val[b], pre[a])
+        M_val[a] = max(M_val[a], pre[b])
+        M_val[b] = max(M_val[b], pre[a])
+    # Sequence indexed by preorder position.
+    by_pre = [0] * n_all
+    for u in range(n_all):
+        by_pre[pre[u]] = u
+    m_seq = [m_val[by_pre[i]] for i in range(n_all)]
+    M_neg_seq = [-M_val[by_pre[i]] for i in range(n_all)]
+    queries = [(pre[u], pre[u] + size[u] - 1) for u in range(n_all)]
+    low = [0] * n_all
+    high = [0] * n_all
+    for part in run(CGMBatchedRMQ(m_seq, queries, v), v):
+        for qi, pos in part:
+            low[qi] = m_seq[pos]
+    for part in run(CGMBatchedRMQ(M_neg_seq, queries, v), v):
+        for qi, pos in part:
+            high[qi] = -M_neg_seq[pos]
+
+    # 5. auxiliary graph on tree edges: vertex of Phi = child endpoint.
+    def is_ancestor(u: int, w: int) -> bool:
+        return pre[u] <= pre[w] < pre[u] + size[u]
+
+    phi_edges = []
+    for a, b in nontree:
+        u, w = (a, b) if pre[a] < pre[b] else (b, a)
+        if not is_ancestor(u, w):
+            # Rule 1: unrelated endpoints join their parent edges.
+            phi_edges.append((u, w))
+    for p_, c in rooted:
+        if p_ == superroot:
+            continue
+        # Rule 2: tree edge (p, c) joins (parent(p), p) iff subtree(c)
+        # escapes p's subtree via a non-tree edge.
+        if parent[p_] == superroot:
+            continue
+        if low[c] < pre[p_] or high[c] >= pre[p_] + size[p_]:
+            phi_edges.append((c, p_))
+
+    labels = {}
+    for part in run(CGMConnectedComponents(n_all, phi_edges, v), v):
+        labels.update(dict(part))
+
+    # 6. assemble components: tree edge (p, c) belongs to labels[c];
+    # non-tree edge {u, w} (w deeper) belongs to labels[w].
+    comps: dict[int, set] = {}
+    for p_, c in rooted:
+        if p_ == superroot:
+            continue
+        comps.setdefault(labels[c], set()).add((min(p_, c), max(p_, c)))
+    for a, b in nontree:
+        w = a if pre[a] > pre[b] else b
+        comps.setdefault(labels[w], set()).add((a, b))
+    return sorted(
+        (frozenset(es) for es in comps.values()),
+        key=lambda s: sorted(s),
+    )

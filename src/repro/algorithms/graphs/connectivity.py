@@ -1,0 +1,196 @@
+"""CGM connected components and spanning forest (Table 1, Group C).
+
+Forest-merging in a binary-combining tree, the coarse-grained strategy of
+Cáceres et al. [11]: every vp reduces its local edge set to a spanning forest
+(union-find), then ``T = ceil(log2 v)`` merge rounds combine pairs of forests
+— in round ``t`` the vps with ``pid mod 2^t == 2^(t-1)`` send their forests
+to ``pid - 2^(t-1)``; each merge keeps at most ``V - 1`` edges, so message
+sizes stay bounded by the vertex count.  After round ``T`` vp 0 holds a
+global spanning forest, labels each vertex with the smallest vertex id of
+its component, and scatters the labels to the vertices' owners.
+
+``lambda = O(log p)`` communication rounds — the Group C row — with local
+memory ``O(V + E/v)`` (the usual CGM graph assumption that the vertex set
+fits in one processor's memory while the edge set is distributed).
+
+:class:`CGMConnectedComponents` outputs per-vertex component labels;
+:class:`CGMSpanningForest` outputs the edge ids of a spanning forest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMConnectedComponents", "CGMSpanningForest"]
+
+
+class _UnionFind:
+    """Path-compressing union-find used for the local forest reductions.
+
+    ``union`` keeps the smaller root, so component representatives are the
+    minimum vertex ids — the labels the algorithm reports.
+    """
+
+    def __init__(self):
+        self.parent: dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent.setdefault(root, root) != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if rb < ra:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        return True
+
+
+class _ForestMergeBase(BSPAlgorithm):
+    """Shared machinery: local reduction + binary-tree forest merging."""
+
+    #: subclasses needing a label-delivery superstep after the merge set this
+    NEEDS_COLLECT = False
+
+    def __init__(self, nvertices: int, edges: Sequence[tuple[int, int]], v: int):
+        self.nvertices = nvertices
+        self.edges = [tuple(e) for e in edges]
+        self.v = v
+        self.nedges = len(edges)
+        for a, b in self.edges:
+            if not (0 <= a < nvertices and 0 <= b < nvertices):
+                raise ValueError(f"edge ({a},{b}) outside vertex range [0,{nvertices})")
+        self.merge_rounds = max(0, (v - 1).bit_length())
+
+    @property
+    def LAMBDA(self) -> int:
+        return self.merge_rounds + (2 if self.NEEDS_COLLECT else 1)
+
+    def context_size(self) -> int:
+        per = 16
+        return 2048 + per * (
+            4 * self.nvertices + 4 * -(-max(self.nedges, 1) // self.v)
+        )
+
+    def comm_bound(self) -> int:
+        return 512 + 8 * (2 * self.nvertices + -(-max(self.nedges, 1) // self.v))
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.nedges, nprocs, pid)
+        uf = _UnionFind()
+        forest = []
+        for eid in range(lo, hi):
+            a, b = self.edges[eid]
+            if uf.union(a, b):
+                forest.append((a, b, eid))
+        return {"forest": forest, "result": None}
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        s, T = ctx.step, self.merge_rounds
+        if 1 <= s <= T:
+            self._absorb(ctx)  # forests sent in round s arrive now
+        t = s + 1  # merge round whose sends happen in this superstep
+        if t <= T:
+            half, stride = 1 << (t - 1), 1 << t
+            if ctx.pid % stride == half:
+                payload = []
+                for a, b, eid in st["forest"]:
+                    payload.extend((a, b, eid))
+                ctx.send(ctx.pid - half, payload)
+                st["forest"] = []
+        if s == T:
+            if ctx.pid == 0:
+                self._finish(ctx)
+            if not self.NEEDS_COLLECT:
+                ctx.vote_halt()
+        elif s > T:
+            self._collect(ctx)
+            ctx.vote_halt()
+
+    def _absorb(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if not ctx.incoming:
+            return
+        uf = _UnionFind()
+        merged = []
+        for a, b, eid in st["forest"]:
+            if uf.union(a, b):  # pragma: no branch - local forest is acyclic
+                merged.append((a, b, eid))
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for a in it:
+                b, eid = next(it), next(it)
+                if uf.union(a, b):
+                    merged.append((a, b, eid))
+        ctx.charge(len(merged) + len(st["forest"]))
+        st["forest"] = merged
+
+    # -- subclass hooks ------------------------------------------------------------
+
+    def _finish(self, ctx: VPContext) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self, ctx: VPContext) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CGMConnectedComponents(_ForestMergeBase):
+    """Label every vertex with the smallest vertex id of its component.
+
+    Output ``j`` is the list of ``(vertex, label)`` pairs for the vertices
+    vp ``j`` owns (block distribution of vertex ids); isolated vertices get
+    their own id.
+    """
+
+    NEEDS_COLLECT = True
+
+    def _finish(self, ctx: VPContext) -> None:
+        uf = _UnionFind()
+        for a, b, _eid in ctx.state["forest"]:
+            uf.union(a, b)
+        by_dest: dict[int, list] = {}
+        for vertex in range(self.nvertices):
+            owner = owner_of_index(vertex, self.nvertices, ctx.nprocs)
+            by_dest.setdefault(owner, []).extend((vertex, uf.find(vertex)))
+        ctx.charge(self.nvertices)
+        ctx.send_all(by_dest)
+
+    def _collect(self, ctx: VPContext) -> None:
+        labels = []
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for vertex in it:
+                labels.append((vertex, next(it)))
+        ctx.state["result"] = sorted(labels)
+
+    def output(self, pid: int, state) -> list[tuple[int, int]]:
+        return state["result"] or []
+
+
+class CGMSpanningForest(_ForestMergeBase):
+    """Compute a spanning forest; vp 0 outputs the original edge ids.
+
+    Output 0 is the sorted list of edge ids forming a spanning forest of
+    maximum size; other vps output empty lists.
+    """
+
+    NEEDS_COLLECT = False
+
+    def _finish(self, ctx: VPContext) -> None:
+        ctx.state["result"] = sorted(eid for _a, _b, eid in ctx.state["forest"])
+
+    def _collect(self, ctx: VPContext) -> None:  # pragma: no cover - unused
+        pass
+
+    def output(self, pid: int, state) -> list[int]:
+        return state["result"] if state["result"] is not None else []

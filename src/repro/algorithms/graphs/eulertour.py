@@ -1,0 +1,156 @@
+"""CGM Euler tour construction (Table 1, Group C, "Euler tour (tree)").
+
+Given a rooted tree, build the successor function of its Euler tour: every
+tree edge ``{u, v}`` contributes the two directed arcs ``u->v`` and ``v->u``,
+and the tour successor of arc ``(u, v)`` is ``(v, w)`` where ``w`` follows
+``u`` in the circular ordering of ``v``'s neighbours.  The arc closing the
+tour back into the root is made the list *tail* (self-loop), so the result
+feeds directly into :class:`~repro.algorithms.graphs.listranking.CGMListRanking`
+— ranking the tour with suitable arc weights yields depths, preorder numbers
+and subtree sizes (see :mod:`repro.algorithms.graphs.treealgos`).
+
+Three communication rounds (``lambda = O(1)``):
+
+0. every vp routes each of its arcs ``(u, v)`` to the owner of ``v``
+   (building the adjacency structure where it is needed);
+1. owners compute, for each arriving arc, the cyclic-next neighbour of
+   ``v`` and reply to the arc's home vp;
+2. home vps record the successor arc ids and halt.
+
+Arc ids: input edge ``k = (parent, child)`` yields arc ``2k`` (down,
+``parent->child``) and arc ``2k+1`` (up, ``child->parent``); arcs are
+block-distributed by id.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMEulerTourSuccessor", "arc_endpoints"]
+
+
+def arc_endpoints(arc: int, edges: Sequence[tuple[int, int]]) -> tuple[int, int]:
+    """(from, to) endpoints of arc ``arc`` under the 2k/2k+1 id scheme."""
+    parent, child = edges[arc // 2]
+    return (parent, child) if arc % 2 == 0 else (child, parent)
+
+
+class CGMEulerTourSuccessor(BSPAlgorithm):
+    """Compute ``etsucc[arc]`` for all ``2*(n-1)`` arcs of a rooted tree.
+
+    Parameters
+    ----------
+    edges:
+        Tree edges as ``(parent, child)`` pairs; node ids are arbitrary
+        non-negative ints; ``root`` must have no parent.
+    root:
+        The root node (tour starts and ends here).
+    v:
+        Number of virtual processors.
+
+    Output ``j`` is a list of ``(arc, succ_arc)`` pairs for vp ``j``'s arcs;
+    the tail arc (the last ``x -> root`` arc of the tour) maps to itself.
+    """
+
+    LAMBDA = 3
+
+    def __init__(
+        self,
+        edges: Sequence[tuple[int, int]],
+        root: int,
+        v: int,
+        oriented: bool = True,
+    ):
+        """With ``oriented=False`` the edge pairs may be arbitrarily directed
+        (an unrooted tree); the tour still starts and ends at ``root``, and
+        the first-visited direction of each edge is the downward one — the
+        basis of the :func:`~repro.algorithms.graphs.biconnectivity.root_tree`
+        driver."""
+        self.edges = [tuple(e) for e in edges]
+        self.root = root
+        self.v = v
+        self.narcs = 2 * len(edges)
+        nodes = {root}
+        for a, b in self.edges:
+            nodes.add(a)
+            nodes.add(b)
+        if oriented:
+            children = {c for _p, c in edges}
+            if root in children:
+                raise ValueError(f"root {root} appears as a child")
+            parents = {}
+            for p_, c in edges:
+                if c in parents:
+                    raise ValueError(f"node {c} has two parents")
+                parents[c] = p_
+        self.nnodes = len(nodes)
+
+    def context_size(self) -> int:
+        return 1024 + 32 * (4 * -(-max(self.narcs, 1) // self.v))
+
+    def comm_bound(self) -> int:
+        return 256 + 8 * (4 * -(-max(self.narcs, 1) // self.v))
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.narcs, nprocs, pid)
+        return {"lo": lo, "hi": hi, "succ": {}}
+
+    def _owner_of_node(self, node: int, v: int) -> int:
+        # Nodes are hashed onto vps (node ids need not be dense).
+        return node % v
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.step == 0:
+            # Route each local arc (u, v) to the owner of its head v.
+            by_dest: dict[int, list] = {}
+            for arc in range(st["lo"], st["hi"]):
+                u, vv = arc_endpoints(arc, self.edges)
+                by_dest.setdefault(self._owner_of_node(vv, ctx.nprocs), []).extend(
+                    (arc, u, vv)
+                )
+            ctx.charge(st["hi"] - st["lo"])
+            ctx.send_all(by_dest)
+        elif ctx.step == 1:
+            # Build the adjacency rings of the nodes this vp owns, then
+            # answer next-arc queries.  The ring of node v is its neighbour
+            # list in sorted order; out-arc ids are reconstructed from the
+            # incoming arcs themselves (arc (u,v) pairs with arc (v,u) = arc^1).
+            arrivals = []  # (arc, u, v) with head v owned here
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for arc in it:
+                    arrivals.append((arc, next(it), next(it)))
+            # adjacency: for node v, neighbours u with the arc id of v->u.
+            # arc (u, v) has partner (v, u) = arc ^ 1.
+            adj: dict[int, list[tuple[int, int]]] = {}
+            for arc, u, vv in arrivals:
+                adj.setdefault(vv, []).append((u, arc ^ 1))
+            for vv in adj:
+                adj[vv].sort()
+            by_dest: dict[int, list] = {}
+            for arc, u, vv in arrivals:
+                ring = adj[vv]
+                idx = next(i for i, (nb, _a) in enumerate(ring) if nb == u)
+                nxt_arc = ring[(idx + 1) % len(ring)][1]
+                # The tour ends when it would re-enter the root through the
+                # ring's wrap-around: that arc becomes the list tail.
+                if vv == self.root and (idx + 1) == len(ring):
+                    nxt_arc = arc
+                home = owner_of_index(arc, self.narcs, ctx.nprocs)
+                by_dest.setdefault(home, []).extend((arc, nxt_arc))
+            ctx.charge(len(arrivals))
+            ctx.send_all(by_dest)
+        else:
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for arc in it:
+                    st["succ"][arc] = next(it)
+            ctx.charge(len(st["succ"]))
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list[tuple[int, int]]:
+        return sorted(state["succ"].items())

@@ -1,0 +1,86 @@
+"""Batched lowest common ancestors (Table 1, Group C, "Lowest common ancestor").
+
+The classical reduction: the LCA of ``u`` and ``v`` is the minimum-depth
+node on the Euler tour between the first occurrences of ``u`` and ``v``.
+The driver composes three CGM algorithms —
+
+1. :class:`~repro.algorithms.graphs.eulertour.CGMEulerTourSuccessor`
+   (tour construction, ``lambda = O(1)``),
+2. :class:`~repro.algorithms.graphs.listranking.CGMListRanking`
+   (tour positions and prefix depths, ``lambda = O(log p)``),
+3. :class:`~repro.algorithms.graphs.rmq.CGMBatchedRMQ`
+   (range minima over the depth sequence, ``lambda = O(1)``)
+
+— so the generated EM algorithm inherits the Group C complexity row.  Like
+the other drivers it accepts a ``run`` callable to execute on the reference
+runner (default) or through an EM engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ...bsp.runner import run_reference
+from .eulertour import arc_endpoints
+from .rmq import CGMBatchedRMQ
+from .treealgos import _prefix_inclusive, _ranks, _tour_successors
+
+__all__ = ["batched_lca"]
+
+
+def _default_run(alg, v):
+    return run_reference(alg, v)[0]
+
+
+def batched_lca(
+    edges: Sequence[tuple[int, int]],
+    root: int,
+    queries: Sequence[tuple[int, int]],
+    v: int,
+    run: Callable = _default_run,
+) -> list[int]:
+    """LCA of every query pair in the rooted tree given by ``edges``.
+
+    ``edges`` are ``(parent, child)`` pairs; node ids must be the integers
+    ``0..n-1`` with ``root`` among them.  Returns ``answers[i]`` = LCA of
+    ``queries[i]``.
+    """
+    n = len(edges) + 1
+    if n == 1:
+        return [root] * len(queries)
+
+    succ = _tour_successors(edges, root, v, run)
+    narcs = len(succ)
+
+    # Tour positions (0-based along the tour) and depth-after-arc values.
+    pos_ranks = _ranks(succ, v, run)  # unit weights
+    positions = [narcs - 1 - r for r in pos_ranks]
+    weights = [1 if a % 2 == 0 else -1 for a in range(narcs)]
+    depth_ranks = _ranks(succ, v, run, values=weights)
+    depth_after = _prefix_inclusive(succ, weights, depth_ranks)
+
+    # The tour visit sequence: entry t (for t >= 1) is the node reached by
+    # the arc at position t-1; entry 0 is the root.  The depth sequence is
+    # depth_after over arcs in position order, prefixed with depth 0.
+    arc_at = [0] * narcs
+    for a, p in enumerate(positions):
+        arc_at[p] = a
+    visit_node = [root] + [arc_endpoints(arc_at[p], edges)[1] for p in range(narcs)]
+    depth_seq = [0] + [depth_after[arc_at[p]] for p in range(narcs)]
+
+    # First occurrence of each node in the visit sequence: the root at 0,
+    # node u at position(down-arc into u) + 1.
+    first = {root: 0}
+    for k, (_p, child) in enumerate(edges):
+        first[child] = positions[2 * k] + 1
+
+    rmq_queries = []
+    for a, b in queries:
+        fa, fb = first[a], first[b]
+        rmq_queries.append((min(fa, fb), max(fa, fb)))
+
+    answers_pos = {}
+    for part in run(CGMBatchedRMQ(depth_seq, rmq_queries, v), v):
+        for qi, p in part:
+            answers_pos[qi] = p
+    return [visit_node[answers_pos[qi]] for qi in range(len(queries))]

@@ -1,0 +1,329 @@
+"""CGM list ranking (Table 1, Group C) — contract, solve small, expand.
+
+The coarse-grained list-ranking strategy of Cáceres et al. [11]: repeatedly
+contract the list by randomized independent-set absorption until the reduced
+list fits in a single virtual processor's memory (``O(n/v)`` nodes), solve it
+locally there, then undo the contractions in reverse order.  Each contraction
+round removes an expected constant fraction of the nodes, so ``O(log v)``
+rounds suffice to shrink by the factor ``v`` — the ``lambda = O(log p)``
+behaviour of Table 1's Group C (compare the PRAM baseline's
+``Theta(log n)`` full sort-and-scan passes).
+
+Per node ``u`` the algorithm maintains a successor ``succ(u)`` and an edge
+weight ``w(u)`` (the weight of the edge ``u -> succ(u)``); the *rank* of
+``u`` is the total edge weight on the path from ``u`` to the list tail.
+With unit weights that is the distance to the tail; with arbitrary weights
+this computes suffix sums over the list — the primitive the Euler-tour
+applications (:mod:`repro.algorithms.graphs.treealgos`) build on.
+
+Contraction round ``r``: every node gets a deterministic pseudo-random coin
+``coin(u, r)``; a node ``u`` with ``coin = 1`` whose successor ``s`` has
+``coin = 0`` (and is not the tail) *absorbs* ``s``: ``succ(u) <- succ(s)``
+and ``w(u) <- w(u) + w(s)``; ``s`` records ``(round, x = succ(s), w(s))``
+for the expansion phase, where its rank becomes ``rank(x) + w(s)``.
+
+Contexts are stored as parallel lists indexed by ``node - lo`` — an order
+of magnitude tighter under pickling than per-node dicts, which directly
+reduces the generated EM algorithm's I/O volume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ...bsp.collectives import owner_of_index, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMListRanking"]
+
+
+def _coin(node: int, rnd: int, seed: int) -> int:
+    """Deterministic pseudo-random coin, computable by every vp without
+    communication (both endpoints of an edge can evaluate it)."""
+    x = (node * 0x9E3779B97F4A7C15 + rnd * 0xBF58476D1CE4E5B9 + seed * 0x94D049BB) \
+        & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    x = (x * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    return (x >> 17) & 1
+
+
+class CGMListRanking(BSPAlgorithm):
+    """Rank every node of a linked list given as a ``succ`` array.
+
+    Parameters
+    ----------
+    succ:
+        ``succ[i]`` is node ``i``'s successor; the tail satisfies
+        ``succ[tail] == tail``.
+    v:
+        Number of virtual processors (nodes are block-distributed by id).
+    values:
+        Optional per-node edge weights (``w(u)`` for the edge out of ``u``);
+        default is 1 for every non-tail node.  The tail's value is ignored.
+    seed:
+        Seed of the contraction coins.
+
+    Output ``j`` is the list of ``(node, rank)`` pairs for vp ``j``'s nodes.
+    """
+
+    def __init__(
+        self,
+        succ: Sequence[int],
+        v: int,
+        values: Sequence[Any] | None = None,
+        seed: int = 12345,
+    ):
+        n = len(succ)
+        if values is not None and len(values) != n:
+            raise ValueError("values must have one entry per node")
+        tails = [i for i in range(n) if succ[i] == i]
+        if n and len(tails) != 1:
+            raise ValueError(f"expected exactly one tail (succ[t]==t), got {len(tails)}")
+        self.succ = list(succ)
+        self.values = list(values) if values is not None else None
+        self.v = v
+        self.n = n
+        self.seed = seed
+        # The reduced list must fit in one vp's memory.
+        self.gather_threshold = max(64, 2 * -(-n // v), 2 * v)
+
+    # -- resource declarations -----------------------------------------------------
+
+    def context_size(self) -> int:
+        per_node = 8
+        return 1024 + per_node * (2 * -(-self.n // self.v) + self.gather_threshold)
+
+    def comm_bound(self) -> int:
+        per_node = 4
+        return 256 + per_node * (2 * -(-self.n // self.v) + self.gather_threshold)
+
+    # -- state -----------------------------------------------------------------------
+
+    def initial_state(self, pid: int, nprocs: int):
+        # Parallel lists indexed by (node - lo): far tighter under pickle
+        # than per-node dicts, and the simulation's I/O tracks pickle size.
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        succ, w = [], []
+        for i in range(lo, hi):
+            is_tail = self.succ[i] == i
+            succ.append(self.succ[i])
+            w.append(0 if is_tail else (self.values[i] if self.values else 1))
+        m = hi - lo
+        return {
+            "lo": lo,
+            "m": m,
+            "succ": succ,
+            "w": w,
+            "active": [True] * m,
+            "rem_round": [-1] * m,  # contraction round at which removed
+            "rem_x": [0] * m,  # successor at removal
+            "rem_w": [0] * m,  # weight at removal
+            "rank": [None] * m,
+            "phase": "C1",
+            "round": 0,
+            "R": None,  # contraction rounds executed (set at gather)
+            "eround": None,
+        }
+
+    # -- superstep machine ------------------------------------------------------------
+
+    def superstep(self, ctx: VPContext) -> None:
+        phase = ctx.state["phase"]
+        if phase == "C1":
+            self._contract_request(ctx)
+        elif phase == "C2":
+            self._contract_reply(ctx)
+        elif phase == "C3":
+            self._contract_apply(ctx)
+        elif phase == "SOLVE":
+            self._solve(ctx)
+        elif phase == "EINIT":
+            self._expand_init(ctx)
+        elif phase == "EB":
+            self._expand_reply(ctx)
+        elif phase == "EC":
+            self._expand_apply(ctx)
+        elif phase == "DONE":
+            ctx.vote_halt()
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown phase {phase}")
+
+    def _owner(self, node: int, v: int) -> int:
+        return owner_of_index(node, self.n, v)
+
+    def _contract_request(self, ctx: VPContext) -> None:
+        st = ctx.state
+        rnd, lo = st["round"], st["lo"]
+        by_dest: dict[int, list] = {}
+        nactive = 0
+        for li in range(st["m"]):
+            if not st["active"][li]:
+                continue
+            nactive += 1
+            u = lo + li
+            s = st["succ"][li]
+            if s == u:
+                continue  # tail
+            if _coin(u, rnd, self.seed) == 1 and _coin(s, rnd, self.seed) == 0:
+                by_dest.setdefault(self._owner(s, ctx.nprocs), []).extend(
+                    ("A", u, s)
+                )
+        # Piggyback the active count for vp 0's gather decision.
+        by_dest.setdefault(0, []).extend(("N", ctx.pid, nactive))
+        ctx.charge(st["m"])
+        ctx.send_all(by_dest)
+        st["phase"] = "C2"
+
+    def _contract_reply(self, ctx: VPContext) -> None:
+        st = ctx.state
+        rnd, lo = st["round"], st["lo"]
+        by_dest: dict[int, list] = {}
+        total_active = 0
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for tag in it:
+                if tag == "A":
+                    u, s = next(it), next(it)
+                    li = s - lo
+                    if st["active"][li] and st["succ"][li] != s:
+                        # s is absorbed: record undo info, deactivate.
+                        st["rem_round"][li] = rnd
+                        st["rem_x"][li] = st["succ"][li]
+                        st["rem_w"][li] = st["w"][li]
+                        st["active"][li] = False
+                        by_dest.setdefault(self._owner(u, ctx.nprocs), []).extend(
+                            ("R", u, st["succ"][li], st["w"][li])
+                        )
+                elif tag == "N":
+                    _pid, cnt = next(it), next(it)
+                    total_active += cnt
+        if ctx.pid == 0:
+            decision = "G" if total_active <= self.gather_threshold else "C"
+            for dest in range(ctx.nprocs):
+                ctx.send(dest, ["D", decision])
+        ctx.charge(st["m"])
+        ctx.send_all(by_dest)
+        st["phase"] = "C3"
+
+    def _contract_apply(self, ctx: VPContext) -> None:
+        st = ctx.state
+        lo = st["lo"]
+        decision = None
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for tag in it:
+                if tag == "R":
+                    u, x, w_s = next(it), next(it), next(it)
+                    li = u - lo
+                    st["succ"][li] = x
+                    st["w"][li] += w_s
+                elif tag == "D":
+                    decision = next(it)
+        ctx.charge(st["m"])
+        if decision == "G":
+            # Ship the reduced list to vp 0 for the sequential solve.
+            st["R"] = st["round"] + 1
+            payload = []
+            for li in range(st["m"]):
+                if st["active"][li]:
+                    payload.extend((lo + li, st["succ"][li], st["w"][li]))
+            ctx.send(0, payload)
+            st["phase"] = "SOLVE"
+        else:
+            st["round"] += 1
+            self._contract_request(ctx)  # emits C1 messages; sets phase C2
+
+    def _solve(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.pid == 0:
+            reduced: dict[int, tuple[int, Any]] = {}
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for u in it:
+                    reduced[u] = (next(it), next(it))
+            ctx.charge(len(reduced))
+            # Rank the reduced list by walking backwards from the tail.
+            pred: dict[int, int] = {}
+            tail = None
+            for u, (s, _w) in reduced.items():
+                if s == u:
+                    tail = u
+                else:
+                    pred[s] = u
+            ranks: dict[int, Any] = {}
+            if tail is not None:
+                ranks[tail] = 0
+                cur = tail
+                while cur in pred:
+                    p_ = pred[cur]
+                    ranks[p_] = ranks[cur] + reduced[p_][1]
+                    cur = p_
+            if len(ranks) != len(reduced):  # pragma: no cover - defensive
+                raise AssertionError("reduced list is not a single chain")
+            by_dest: dict[int, list] = {}
+            for u, r in ranks.items():
+                by_dest.setdefault(self._owner(u, ctx.nprocs), []).extend((u, r))
+            ctx.send_all(by_dest)
+        st["phase"] = "EINIT"
+
+    def _expand_init(self, ctx: VPContext) -> None:
+        st = ctx.state
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for u in it:
+                st["rank"][u - st["lo"]] = next(it)
+        st["eround"] = st["R"] - 1
+        self._expand_request(ctx)
+
+    def _expand_request(self, ctx: VPContext) -> None:
+        """Emit rank requests for nodes removed in the current expansion round."""
+        st = ctx.state
+        if st["eround"] is not None and st["eround"] >= 0:
+            er, lo = st["eround"], st["lo"]
+            by_dest: dict[int, list] = {}
+            for li in range(st["m"]):
+                if st["rem_round"][li] == er:
+                    x = st["rem_x"][li]
+                    by_dest.setdefault(self._owner(x, ctx.nprocs), []).extend(
+                        (lo + li, x)
+                    )
+            ctx.charge(st["m"])
+            ctx.send_all(by_dest)
+            # Even with zero local requests the vp must stay in lockstep:
+            # other vps may have requests for *it* in this round.
+            st["phase"] = "EB"
+            return
+        st["phase"] = "DONE"
+        ctx.vote_halt()
+
+    def _expand_reply(self, ctx: VPContext) -> None:
+        st = ctx.state
+        lo = st["lo"]
+        by_dest: dict[int, list] = {}
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for s in it:
+                x = next(it)
+                r = st["rank"][x - lo]
+                if r is None:  # pragma: no cover - defensive
+                    raise AssertionError(f"rank of {x} unknown during expansion")
+                by_dest.setdefault(self._owner(s, ctx.nprocs), []).extend((s, r))
+        ctx.charge(st["m"])
+        ctx.send_all(by_dest)
+        st["phase"] = "EC"
+
+    def _expand_apply(self, ctx: VPContext) -> None:
+        st = ctx.state
+        lo = st["lo"]
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for s in it:
+                rank_x = next(it)
+                li = s - lo
+                st["rank"][li] = rank_x + st["rem_w"][li]
+        st["eround"] -= 1
+        self._expand_request(ctx)
+
+    def output(self, pid: int, state) -> list[tuple[int, Any]]:
+        lo = state["lo"]
+        return [(lo + li, state["rank"][li]) for li in range(state["m"])]

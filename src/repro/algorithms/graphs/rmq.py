@@ -1,0 +1,194 @@
+"""CGM batched range-minimum queries (the LCA substrate, Table 1, Group C).
+
+Given an array ``a[0..n-1]`` and a batch of index ranges, find for every
+range the position of its minimum.  Coarse-grained, ``lambda = O(1)``:
+
+0. the array is block-distributed; every vp computes its segment minimum
+   and sends it to vp 0; queries are block-distributed by query id and each
+   is routed to the vp holding its *left* endpoint;
+1. vp 0 broadcasts the ``v`` segment minima; left-endpoint vps compute the
+   in-segment suffix part and the full middle part (from the broadcast) and
+   forward the partial result to the vp holding the *right* endpoint;
+2. right-endpoint vps finish with their in-segment prefix part and return
+   the answer to the query's home vp;
+3. home vps collect.
+
+Each ``h``-relation carries ``O(n/v + q/v + v)`` records.  Used by
+:func:`~repro.algorithms.graphs.lca.batched_lca` on the Euler tour's depth
+sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...bsp.collectives import owner_of_index, share_bounds
+from ...bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMBatchedRMQ"]
+
+INF = float("inf")
+
+
+class CGMBatchedRMQ(BSPAlgorithm):
+    """Positions of range minima for a batch of ``[lo, hi]`` (inclusive) queries.
+
+    Ties resolve to the smallest position.  Output ``j`` is the list of
+    ``(query_index, argmin_position)`` pairs for the queries whose indices
+    fall in vp ``j``'s block share.
+    """
+
+    LAMBDA = 5
+
+    def __init__(
+        self,
+        values: Sequence,
+        queries: Sequence[tuple[int, int]],
+        v: int,
+    ):
+        n = len(values)
+        for lo, hi in queries:
+            if not (0 <= lo <= hi < n):
+                raise ValueError(f"query [{lo},{hi}] outside [0,{n})")
+        self.values = list(values)
+        self.queries = [tuple(q) for q in queries]
+        self.v = v
+        self.n = n
+        self.nq = len(queries)
+
+    def context_size(self) -> int:
+        per = 8
+        return 1024 + per * (
+            2 * -(-max(self.n, 1) // self.v)
+            + 4 * -(-max(self.nq, 1) // self.v)
+            + 2 * self.v
+        )
+
+    def comm_bound(self) -> int:
+        return 256 + 8 * (4 * -(-max(self.nq, 1) // self.v) + 2 * self.v)
+
+    def initial_state(self, pid: int, nprocs: int):
+        alo, ahi = share_bounds(self.n, nprocs, pid)
+        qlo, qhi = share_bounds(self.nq, nprocs, pid)
+        return {
+            "alo": alo,
+            "vals": self.values[alo:ahi],
+            "myqueries": [(qi, *self.queries[qi]) for qi in range(qlo, qhi)],
+            "segmins": None,
+            "answers": [],
+        }
+
+    def _seg_of(self, idx: int, v: int) -> int:
+        return owner_of_index(idx, self.n, v)
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        v = ctx.nprocs
+        if ctx.step == 0:
+            # Segment minimum (value, absolute position) to vp 0; route each
+            # query to the vp holding its left endpoint.
+            if st["vals"]:
+                pos = min(range(len(st["vals"])), key=lambda i: (st["vals"][i], i))
+                ctx.send(0, ["M", ctx.pid, st["vals"][pos], st["alo"] + pos])
+            else:
+                ctx.send(0, ["M", ctx.pid, INF, -1])
+            by_dest: dict[int, list] = {}
+            for qi, lo, hi in st["myqueries"]:
+                by_dest.setdefault(self._seg_of(lo, v), []).extend(
+                    ("Q", qi, lo, hi)
+                )
+            ctx.charge(len(st["vals"]) + len(st["myqueries"]))
+            ctx.send_all(by_dest)
+            st["myqueries"] = []
+        elif ctx.step == 1:
+            queries = []
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "M":
+                        pid_, val, pos = next(it), next(it), next(it)
+                        if ctx.pid == 0:
+                            if st["segmins"] is None:
+                                st["segmins"] = [None] * v
+                            st["segmins"][pid_] = (val, pos)
+                    else:
+                        queries.append((next(it), next(it), next(it)))
+            st["pending"] = queries
+            if ctx.pid == 0:
+                flat = [c for sm in st["segmins"] for c in sm]
+                for dest in range(v):
+                    ctx.send(dest, flat)
+                ctx.charge(v)
+        elif ctx.step == 2:
+            # Receive the broadcast minima; answer the left-segment suffix
+            # plus middle segments; forward to the right-endpoint vp.
+            it = iter(ctx.incoming[0].payload)
+            segmins = []
+            for val in it:
+                segmins.append((val, next(it)))
+            st["segmins"] = segmins
+            by_dest: dict[int, list] = {}
+            alo, vals = st["alo"], st["vals"]
+            for qi, lo, hi in st["pending"]:
+                lseg = self._seg_of(lo, v)
+                rseg = self._seg_of(hi, v)
+                best = (INF, self.n)
+                # suffix of the left segment (possibly clipped by hi)
+                end = min(hi, alo + len(vals) - 1)
+                for i in range(lo, end + 1):
+                    cand = (vals[i - alo], i)
+                    if cand < best:
+                        best = cand
+                # full middle segments
+                for seg in range(lseg + 1, rseg):
+                    val, pos = segmins[seg]
+                    if (val, pos) < best:
+                        best = (val, pos)
+                if rseg == lseg:
+                    # entire query inside this segment: answer directly
+                    home = owner_of_index(qi, self.nq, v)
+                    by_dest.setdefault(home, []).extend(("A", qi, best[1]))
+                else:
+                    by_dest.setdefault(rseg, []).extend(
+                        ("P", qi, hi, best[0], best[1])
+                    )
+            ctx.charge(
+                sum(1 for _ in st["pending"]) * max(1, v)
+                + len(st["vals"])
+            )
+            ctx.send_all(by_dest)
+            st["pending"] = []
+        elif ctx.step == 3:
+            # Right-endpoint vps finish with their prefix part; home vps
+            # may already receive direct answers.
+            by_dest: dict[int, list] = {}
+            alo, vals = st["alo"], st["vals"]
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    if tag == "A":
+                        qi, pos = next(it), next(it)
+                        st["answers"].append((qi, pos))
+                    else:
+                        qi, hi, bval, bpos = next(it), next(it), next(it), next(it)
+                        best = (bval, bpos)
+                        for i in range(alo, hi + 1):
+                            cand = (vals[i - alo], i)
+                            if cand < best:
+                                best = cand
+                        home = owner_of_index(qi, self.nq, ctx.nprocs)
+                        by_dest.setdefault(home, []).extend(("A", qi, best[1]))
+            ctx.charge(len(st["vals"]))
+            ctx.send_all(by_dest)
+        else:
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    assert tag == "A"
+                    qi, pos = next(it), next(it)
+                    st["answers"].append((qi, pos))
+            st["answers"].sort()
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list[tuple[int, int]]:
+        return sorted(state["answers"])

@@ -1,0 +1,390 @@
+"""CGM tree contraction / expression-tree evaluation (Table 1, Group C).
+
+Evaluates an arithmetic expression tree (operators ``+`` and ``*`` at
+internal nodes, numbers at leaves) by coarse-grained tree contraction:
+
+* **Rake** — every resolved node sends its value to its parent; a parent
+  folds arriving values into its accumulator and, once a single child
+  remains unresolved, becomes a *unary* node whose value is a linear
+  function ``a*y + b`` of that child (both ``+`` and ``*`` with one known
+  operand are linear — the classical trick that keeps contraction closed).
+* **Compress** — unary chains compose their linear functions pairwise,
+  using the same deterministic-coin independent-set trick as
+  :class:`~repro.algorithms.graphs.listranking.CGMListRanking` to avoid
+  conflicts.
+* **Gather** — once the active tree fits in one virtual processor's memory
+  (``O(n/v)`` nodes), it is shipped to vp 0 and finished sequentially; only
+  the root value is needed, so no expansion phase follows.
+
+Rake halves the leaves of bushy trees and compress shortens caterpillars,
+so the active size drops by an expected constant factor per round:
+``lambda = O(log v)`` rounds whp — the Group C "tree contraction,
+expression tree evaluation" row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ...bsp.program import BSPAlgorithm, VPContext
+from .listranking import _coin
+
+__all__ = ["CGMExpressionEval"]
+
+
+def _compose(outer: tuple, inner: tuple) -> tuple:
+    """(a1, b1) o (a2, b2): first apply inner, then outer."""
+    a1, b1 = outer
+    a2, b2 = inner
+    return (a1 * a2, a1 * b2 + b1)
+
+
+class CGMExpressionEval(BSPAlgorithm):
+    """Evaluate a binary (or general) expression tree over ``(+, *)``.
+
+    Parameters
+    ----------
+    edges:
+        ``(parent, child)`` pairs; node 0 (or ``root``) is the root.
+    ops:
+        Operator per internal node: ``"+"`` or ``"*"``.
+    leaf_values:
+        Number per leaf node.
+    v:
+        Number of virtual processors.
+    root:
+        The root node id.
+    seed:
+        Seed of the compression coins.
+
+    Output ``j`` is ``[value]`` for every vp (the root value is broadcast).
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[tuple[int, int]],
+        ops: dict[int, str],
+        leaf_values: dict[int, Any],
+        v: int,
+        root: int = 0,
+        seed: int = 2024,
+    ):
+        self.edges = [tuple(e) for e in edges]
+        self.ops = dict(ops)
+        self.leaf_values = dict(leaf_values)
+        self.v = v
+        self.root = root
+        self.seed = seed
+        nodes = {root} | {c for _p, c in edges} | {p for p, _c in edges}
+        self.nnodes = len(nodes)
+        if nodes != set(range(self.nnodes)):
+            raise ValueError("node ids must be 0..n-1")
+        for op in self.ops.values():
+            if op not in ("+", "*"):
+                raise ValueError(f"unsupported operator {op!r}")
+        self.gather_threshold = max(64, 2 * -(-self.nnodes // v), 2 * v)
+
+    def context_size(self) -> int:
+        per = 16
+        return 2048 + per * (
+            3 * -(-self.nnodes // self.v) + self.gather_threshold
+        )
+
+    def comm_bound(self) -> int:
+        return 512 + 8 * (2 * -(-self.nnodes // self.v) + self.gather_threshold)
+
+    # -- state -------------------------------------------------------------------
+
+    def _owner(self, node: int, v: int) -> int:
+        from ...bsp.collectives import owner_of_index
+
+        return owner_of_index(node, self.nnodes, v)
+
+    def initial_state(self, pid: int, nprocs: int):
+        from ...bsp.collectives import share_bounds
+
+        child_lists: dict[int, list[int]] = {}
+        parent: dict[int, int] = {}
+        for p_, c in self.edges:
+            child_lists.setdefault(p_, []).append(c)
+            parent[c] = p_
+        lo, hi = share_bounds(self.nnodes, nprocs, pid)
+        nodes = {}
+        for node in range(lo, hi):
+            if node in self.leaf_values:
+                nodes[node] = {
+                    "parent": parent.get(node, -1),
+                    "value": self.leaf_values[node],
+                    "sent": False,
+                    "unresolved": 0,
+                    "op": None,
+                    "acc": None,
+                    "fn": None,  # linear (a, b) once unary
+                    "pending": None,
+                    "active": True,
+                }
+            else:
+                op = self.ops[node]
+                kids = child_lists.get(node, [])
+                nodes[node] = {
+                    "parent": parent.get(node, -1),
+                    "value": None,
+                    "sent": False,
+                    "unresolved": len(kids),
+                    "remaining": list(kids),  # unresolved child ids
+                    "op": op,
+                    "acc": 0 if op == "+" else 1,
+                    "fn": None,
+                    "pending": None,
+                    "active": True,
+                }
+        return {
+            "nodes": nodes,
+            "phase": "R1",
+            "round": 0,
+            "result": None,
+        }
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _fold(nd: dict, child: int, val: Any) -> None:
+        """Fold a resolved child's value into an internal node."""
+        if nd["fn"] is not None:
+            # unary node: pending child resolved
+            a, b = nd["fn"]
+            nd["value"] = a * val + b
+            nd["fn"] = None
+            nd["pending"] = None
+            nd["unresolved"] = 0
+            return
+        nd["acc"] = nd["acc"] + val if nd["op"] == "+" else nd["acc"] * val
+        nd["unresolved"] -= 1
+        if child in nd["remaining"]:
+            nd["remaining"].remove(child)
+        if nd["unresolved"] == 0:
+            nd["value"] = nd["acc"]
+
+    @staticmethod
+    def _to_unary(nd: dict) -> None:
+        """Switch a one-child-left internal node to linear-function form."""
+        if nd["op"] == "+":
+            nd["fn"] = (1, nd["acc"])
+        else:
+            nd["fn"] = (nd["acc"], 0)
+        nd["pending"] = nd["remaining"][0]
+
+    # -- superstep machine ------------------------------------------------------------
+
+    def superstep(self, ctx: VPContext) -> None:
+        phase = ctx.state["phase"]
+        if phase == "R1":
+            self._round_send(ctx)
+        elif phase == "R2":
+            self._round_process(ctx)
+        elif phase == "R3":
+            self._round_apply(ctx)
+        elif phase == "SOLVE":
+            self._solve(ctx)
+        elif phase == "BCAST":
+            self._bcast(ctx)
+        elif phase == "DONE":
+            ctx.vote_halt()
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown phase {phase}")
+
+    def _round_send(self, ctx: VPContext) -> None:
+        st = ctx.state
+        rnd = st["round"]
+        by_dest: dict[int, list] = {}
+        nactive = 0
+        for node, nd in st["nodes"].items():
+            if not nd["active"]:
+                continue
+            nactive += 1
+            if nd["value"] is not None:
+                if nd["parent"] < 0:
+                    # resolved root: report to vp 0
+                    by_dest.setdefault(0, []).extend(("ROOT", nd["value"]))
+                    nd["active"] = False
+                    nactive -= 1
+                elif not nd["sent"]:
+                    by_dest.setdefault(
+                        self._owner(nd["parent"], ctx.nprocs), []
+                    ).extend(("L", nd["parent"], node, nd["value"]))
+                    nd["sent"] = True
+                    nd["active"] = False
+                    nactive -= 1
+            elif (
+                nd["fn"] is not None
+                and nd["pending"] is not None
+                and _coin(node, rnd, self.seed) == 1
+                and _coin(nd["pending"], rnd, self.seed) == 0
+            ):
+                # compression request to the pending (possibly unary) child
+                by_dest.setdefault(
+                    self._owner(nd["pending"], ctx.nprocs), []
+                ).extend(("C", node, nd["pending"]))
+        by_dest.setdefault(0, []).extend(("N", ctx.pid, nactive))
+        ctx.charge(len(st["nodes"]))
+        ctx.send_all(by_dest)
+        st["phase"] = "R2"
+
+    def _round_process(self, ctx: VPContext) -> None:
+        st = ctx.state
+        nodes = st["nodes"]
+        total_active = 0
+        root_value = None
+        compress_reqs = []
+        # First pass: apply leaf values (they take precedence over
+        # compression: a child that just resolved refuses absorption).
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for tag in it:
+                if tag == "L":
+                    p_, child, val = next(it), next(it), next(it)
+                    nd = nodes[p_]
+                    self._fold(nd, child, val)
+                    if nd["fn"] is None and nd["value"] is None and nd["unresolved"] == 1:
+                        self._to_unary(nd)
+                elif tag == "C":
+                    compress_reqs.append((next(it), next(it)))
+                elif tag == "N":
+                    _pid, cnt = next(it), next(it)
+                    total_active += cnt
+                elif tag == "ROOT":
+                    root_value = next(it)
+        by_dest: dict[int, list] = {}
+        for u, c in compress_reqs:
+            nd = nodes[c]
+            if nd["active"] and nd["value"] is None and nd["fn"] is not None \
+                    and nd["pending"] is not None:
+                # c agrees to be absorbed into u.
+                by_dest.setdefault(self._owner(u, ctx.nprocs), []).extend(
+                    ("A", u, nd["fn"][0], nd["fn"][1], nd["pending"])
+                )
+                by_dest.setdefault(
+                    self._owner(nd["pending"], ctx.nprocs), []
+                ).extend(("P", nd["pending"], u))
+                nd["active"] = False
+        if ctx.pid == 0:
+            if root_value is not None:
+                decision = ["F", root_value]
+            elif total_active <= self.gather_threshold:
+                decision = ["G"]
+            else:
+                decision = ["C"]
+            for dest in range(ctx.nprocs):
+                ctx.send(dest, ["D"] + decision)
+        ctx.charge(len(nodes))
+        ctx.send_all(by_dest)
+        st["phase"] = "R3"
+
+    def _round_apply(self, ctx: VPContext) -> None:
+        st = ctx.state
+        nodes = st["nodes"]
+        decision = None
+        value = None
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for tag in it:
+                if tag == "A":
+                    u, a, b, g = next(it), next(it), next(it), next(it)
+                    nd = nodes[u]
+                    nd["fn"] = _compose(nd["fn"], (a, b))
+                    nd["pending"] = g
+                elif tag == "P":
+                    g, newp = next(it), next(it)
+                    nodes[g]["parent"] = newp
+                elif tag == "D":
+                    decision = next(it)
+                    if decision == "F":
+                        value = next(it)
+        ctx.charge(len(nodes))
+        if decision == "F":
+            st["result"] = value
+            st["phase"] = "DONE"
+            ctx.vote_halt()
+        elif decision == "G":
+            payload = []
+            for node, nd in nodes.items():
+                if not nd["active"]:
+                    continue
+                if nd["value"] is not None:
+                    desc = ("V", node, nd["parent"], nd["value"])
+                elif nd["fn"] is not None:
+                    desc = (
+                        "U", node, nd["parent"], nd["fn"][0], nd["fn"][1],
+                        nd["pending"] if nd["pending"] is not None else -1,
+                    )
+                else:
+                    desc = ("M", node, nd["parent"], nd["op"], nd["acc"],
+                            nd["unresolved"])
+                payload.extend(desc)
+            ctx.send(0, payload)
+            st["phase"] = "SOLVE"
+        else:
+            st["round"] += 1
+            self._round_send(ctx)
+
+    def _solve(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.pid == 0:
+            vals: dict[int, Any] = {}
+            unary: dict[int, tuple] = {}
+            multi: dict[int, tuple] = {}
+            parent: dict[int, int] = {}
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for tag in it:
+                    node = next(it)
+                    parent[node] = next(it)
+                    if tag == "V":
+                        vals[node] = next(it)
+                    elif tag == "U":
+                        unary[node] = (next(it), next(it), next(it))
+                    else:
+                        multi[node] = (next(it), next(it), next(it))
+            children: dict[int, list[int]] = {}
+            for node, p_ in parent.items():
+                children.setdefault(p_, []).append(node)
+
+            def evaluate(node: int) -> Any:
+                if node in vals:
+                    return vals[node]
+                if node in unary:
+                    a, b, pending = unary[node]
+                    child = pending if pending >= 0 else children[node][0]
+                    return a * evaluate(child) + b
+                op, acc, _unres = multi[node]
+                for c in children.get(node, []):
+                    cv = evaluate(c)
+                    acc = acc + cv if op == "+" else acc * cv
+                return acc
+
+            import sys
+
+            old = sys.getrecursionlimit()
+            sys.setrecursionlimit(max(old, 4 * self.gather_threshold + 100))
+            try:
+                result = evaluate(self._find_root(parent))
+            finally:
+                sys.setrecursionlimit(old)
+            ctx.charge(len(parent))
+            for dest in range(ctx.nprocs):
+                ctx.send(dest, [result])
+        st["phase"] = "BCAST"
+
+    def _find_root(self, parent: dict[int, int]) -> int:
+        cands = [n for n, p_ in parent.items() if p_ < 0 or p_ not in parent]
+        roots = [n for n in cands if n == self.root or parent[n] < 0]
+        return roots[0] if roots else cands[0]
+
+    def _bcast(self, ctx: VPContext) -> None:
+        st = ctx.state
+        st["result"] = ctx.incoming[0].payload[0]
+        st["phase"] = "DONE"
+        ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return [state["result"]]

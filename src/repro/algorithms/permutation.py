@@ -1,0 +1,79 @@
+"""CGM permutation routing (Table 1, Group A, "Permutation").
+
+Given values ``x_0..x_{n-1}`` and a permutation ``pi``, produce the sequence
+``y`` with ``y[pi[i]] = x[i]``.  On a CGM this is a single ``h``-relation
+with ``h = n/v``: every virtual processor knows the target position of each
+of its items, sends each to the owner of that position, and the owner places
+arrivals by offset.  ``lambda = O(1)``; via the simulation this becomes the
+Table 1 EM permutation bound ``T_I/O = O~(G n/(pBD))``, beating the naive
+one-record-per-I/O approach by a factor of ``~BD`` (see the T1-A-PERM
+benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..bsp.collectives import owner_of_index, share_bounds
+from ..bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMPermutation"]
+
+
+class CGMPermutation(BSPAlgorithm):
+    """Route ``values[i]`` to global position ``perm[i]``.
+
+    Output ``j`` is vp ``j``'s slice of the permuted sequence; the
+    concatenation over vp ids is ``y`` with ``y[perm[i]] = values[i]``.
+    """
+
+    LAMBDA = 2
+
+    def __init__(self, values: Sequence[Any], perm: Sequence[int], v: int):
+        if len(values) != len(perm):
+            raise ValueError("values and perm must have equal length")
+        if sorted(perm) != list(range(len(perm))):
+            raise ValueError("perm is not a permutation of 0..n-1")
+        self.values = list(values)
+        self.perm = list(perm)
+        self.v = v
+        self.n = len(values)
+
+    def context_size(self) -> int:
+        return 256 + 8 * -(-self.n // self.v) * 4
+
+    def comm_bound(self) -> int:
+        return 64 + 4 * -(-self.n // self.v) + 2 * self.v
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        return {
+            "pairs": [(self.perm[i], self.values[i]) for i in range(lo, hi)],
+            "lo": lo,
+            "hi": hi,
+            "result": None,
+        }
+
+    def superstep(self, ctx: VPContext) -> None:
+        st = ctx.state
+        if ctx.step == 0:
+            by_owner: dict[int, list] = {}
+            for target, val in st["pairs"]:
+                owner = owner_of_index(target, self.n, ctx.nprocs)
+                by_owner.setdefault(owner, []).extend((target, val))
+            ctx.charge(len(st["pairs"]))
+            ctx.send_all(by_owner)
+            st["pairs"] = []
+        else:
+            lo, hi = st["lo"], st["hi"]
+            out: list[Any] = [None] * (hi - lo)
+            for m in ctx.incoming:
+                it = iter(m.payload)
+                for target, val in zip(it, it):
+                    out[target - lo] = val
+            ctx.charge(hi - lo)
+            st["result"] = out
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state["result"] if state["result"] is not None else []

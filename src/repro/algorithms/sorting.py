@@ -1,0 +1,119 @@
+"""CGM sorting by deterministic regular sampling (Table 1, Group A, "Sorting").
+
+A single-sample-round CGM sort in the style of communication-efficient
+parallel sorting [Goodrich 96] / parallel sorting by regular sampling:
+
+* **Superstep 0** — each virtual processor sorts its ``n/v`` local items and
+  sends ``v`` regularly spaced samples to vp 0.
+* **Superstep 1** — vp 0 sorts the ``v^2`` samples, selects ``v-1`` splitters,
+  and broadcasts them.
+* **Superstep 2** — each vp partitions its sorted run by the splitters and
+  routes partition ``j`` to vp ``j`` (the single ``h``-relation with
+  ``h = O(n/v)``; regular sampling guarantees no vp receives more than
+  ``2n/v`` items).
+* **Superstep 3** — each vp merges the received sorted runs; the
+  concatenation of the outputs over vp ids is the sorted sequence.
+
+``lambda = O(1)`` supersteps, ``T_comp = O((n/v) log n)``, ``M = O(n/v)``
+— the Table 1 row.  Requires ``n >= v^2`` (the usual CGM coarseness
+condition ``n/p >= p``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..bsp.collectives import (
+    merge_sorted,
+    partition_by_splitters,
+    regular_samples,
+    share_bounds,
+)
+from ..bsp.program import BSPAlgorithm, VPContext
+
+__all__ = ["CGMSampleSort"]
+
+
+class CGMSampleSort(BSPAlgorithm):
+    """Sort ``data`` with ``v`` virtual processors; output ``i`` is vp ``i``'s
+    sorted slice (global order = concatenation over vp ids).
+
+    Parameters
+    ----------
+    data:
+        The records to sort (any totally ordered values, or use ``key``).
+    v:
+        Number of virtual processors; ``len(data) >= v*v`` is required for
+        the regular-sampling balance guarantee.
+    key:
+        Optional sort key.
+    """
+
+    LAMBDA = 4  # supersteps (communication rounds lambda = 3 + final halt)
+
+    def __init__(self, data: Sequence[Any], v: int, key: Callable | None = None):
+        if v < 1:
+            raise ValueError("v must be >= 1")
+        if len(data) < v * v:
+            raise ValueError(
+                f"CGM sort needs n >= v^2 (n={len(data)}, v={v}); "
+                "use fewer virtual processors"
+            )
+        self.data = list(data)
+        self.v = v
+        self.key = key
+        self.n = len(data)
+
+    # -- resource declarations ------------------------------------------------------
+
+    def context_size(self) -> int:
+        # Local share (<= 2n/v after balancing) plus vp 0's v^2 samples,
+        # in 8-byte records with pickle overhead headroom.
+        per_item = 4
+        return 256 + per_item * (4 * -(-self.n // self.v) + 2 * self.v * self.v)
+
+    def comm_bound(self) -> int:
+        per_item = 2
+        return 64 + per_item * max(
+            self.v * self.v, 4 * -(-self.n // self.v) + self.v
+        )
+
+    # -- the algorithm -----------------------------------------------------------
+
+    def initial_state(self, pid: int, nprocs: int):
+        lo, hi = share_bounds(self.n, nprocs, pid)
+        return {"items": self.data[lo:hi], "result": None}
+
+    def superstep(self, ctx: VPContext) -> None:
+        v, key = ctx.nprocs, self.key
+        st = ctx.state
+        if ctx.step == 0:
+            st["items"].sort(key=key)
+            ctx.charge(len(st["items"]) * max(1, len(st["items"]).bit_length()))
+            samples = regular_samples(
+                [key(x) for x in st["items"]] if key else st["items"], v
+            )
+            ctx.send(0, samples)
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                allsamples = sorted(r for m in ctx.incoming for r in m.payload)
+                ctx.charge(len(allsamples) * max(1, len(allsamples).bit_length()))
+                splitters = regular_samples(allsamples, v - 1)
+                for dest in range(v):
+                    ctx.send(dest, splitters)
+        elif ctx.step == 2:
+            splitters = list(ctx.incoming[0].payload)
+            parts = partition_by_splitters(st["items"], splitters, key=key)
+            ctx.charge(len(st["items"]))
+            for dest, part in enumerate(parts):
+                if dest < v and part:
+                    ctx.send(dest, part)
+            st["items"] = []
+        else:
+            runs = [list(m.payload) for m in ctx.incoming]
+            st["result"] = merge_sorted(runs, key=key)
+            ctx.charge(sum(len(r) for r in runs) * max(1, v.bit_length()))
+            ctx.vote_halt()
+
+    def output(self, pid: int, state) -> list:
+        return state["result"] if state["result"] is not None else []

@@ -1,0 +1,34 @@
+"""Baselines: the "previous results" column of Table 1, on the same substrate.
+
+* :class:`EMMergeSort` — classical sequential external mergesort.
+* :class:`NaiveEMPermute` / :class:`SortBasedEMPermute` — unblocked and
+  sort-based external permutation.
+* :class:`EMTranspose` — sequential external matrix transpose.
+* :class:`EMPRAMSimulator` / :class:`PRAMListRanking` — PRAM-step simulation
+  (Chiang et al.): one external sort per PRAM step.
+* :class:`SibeynKaufmannSimulation` — the concurrent BSP-to-EM simulation
+  without blocking-factor or multi-disk support.
+"""
+
+from .empermute import NaiveEMPermute, PermuteStats, SortBasedEMPermute
+from .emsearch import EMBatchedSearch, SearchStats
+from .emsort import EMMergeSort, EMSortStats
+from .emtranspose import EMTranspose
+from .pramsim import EMPRAMSimulator, PRAMListRanking, PRAMStats
+from .sibeyn import SibeynKaufmannSimulation, SibeynStats
+
+__all__ = [
+    "EMMergeSort",
+    "EMSortStats",
+    "NaiveEMPermute",
+    "SortBasedEMPermute",
+    "PermuteStats",
+    "EMTranspose",
+    "EMBatchedSearch",
+    "SearchStats",
+    "EMPRAMSimulator",
+    "PRAMListRanking",
+    "PRAMStats",
+    "SibeynKaufmannSimulation",
+    "SibeynStats",
+]

@@ -1,0 +1,21 @@
+"""The paper's simulation technique: Algorithms 1–3 and their reports."""
+
+from .context import ContextStore
+from .parsim import ParallelEMSimulation
+from .routing import RoutingStats, simulate_routing
+from .seqsim import SequentialEMSimulation
+from .simulator import build_params, simulate
+from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+
+__all__ = [
+    "ContextStore",
+    "simulate_routing",
+    "RoutingStats",
+    "SequentialEMSimulation",
+    "ParallelEMSimulation",
+    "simulate",
+    "build_params",
+    "SimulationReport",
+    "SuperstepReport",
+    "PhaseBreakdown",
+]

@@ -1,0 +1,108 @@
+"""On-disk storage of virtual-processor contexts (Steps 1(a)/1(e) of Algorithm 1).
+
+"Since we know the size of the contexts of the processors, and the order in
+which we simulate the virtual processors is static during the simulation, we
+can distribute the ``k`` contexts deterministically.  We reserve an area of
+total size ``v*mu`` on the disks, ``v*mu/DB`` blocks on each disk."
+
+Contexts are pickled, the bytes split into blocks of ``B`` records (8 bytes
+per record), and stored in the preallocated :class:`ConsecutiveRegion`.  The
+declared bound ``mu`` is enforced on every save: an algorithm whose state
+outgrows its declaration fails loudly instead of silently breaking the space
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..emio.disk import DiskError
+from ..emio.diskarray import DiskArray
+from ..emio.layout import (
+    ConsecutiveRegion,
+    RegionAllocator,
+    blocks_to_object,
+    pickle_to_blocks,
+)
+
+__all__ = ["ContextStore"]
+
+
+class ContextStore:
+    """Preallocated context area for ``v`` virtual processors.
+
+    Parameters
+    ----------
+    array, allocator:
+        The disk substrate of one real processor.
+    nslots:
+        Number of contexts stored here (``v`` in the sequential simulation,
+        ``v/p`` per real processor in the parallel one).
+    mu:
+        Declared maximum context size in records.
+    B:
+        Disk block size in records.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        allocator: RegionAllocator,
+        nslots: int,
+        mu: int,
+        B: int,
+        name: str = "contexts",
+    ):
+        self.mu = mu
+        self.B = B
+        self.array = array
+        self.blocks_per_context = -(-mu // B)
+        self.region = ConsecutiveRegion(
+            array, allocator, nslots, self.blocks_per_context, name=name
+        )
+        # Actual block count per slot.  A context's *area* is preallocated
+        # at ceil(mu/B) blocks (the paper's space bound), but only the
+        # currently used prefix is transferred — the metadata is one integer
+        # per virtual processor, like the bucket pointer tables.
+        self._used = [0] * nslots
+
+    @property
+    def tracks_per_disk(self) -> int:
+        return self.region.tracks_per_disk
+
+    def save(self, slot: int, state: Any) -> None:
+        """Pickle and write one context (fully parallel I/O)."""
+        self.save_group([slot], [state])
+
+    def load(self, slot: int) -> Any:
+        """Read and unpickle one context."""
+        return self.load_group([slot])[0]
+
+    def save_group(self, slots: Sequence[int], states: Sequence[Any]) -> None:
+        """Write a whole group of contexts with jointly packed parallel ops."""
+        ops: list = []
+        for slot, state in zip(slots, states):
+            blocks = pickle_to_blocks(state, self.B, max_records=self.mu)
+            if len(blocks) > self.blocks_per_context:
+                raise DiskError(  # pragma: no cover - pickle_to_blocks guards
+                    f"context of slot {slot} exceeds its preallocated area"
+                )
+            self._used[slot] = len(blocks)
+            ops.extend(
+                (*self.region.addr(slot, i), blk) for i, blk in enumerate(blocks)
+            )
+        self.array.write_batched(ops)
+
+    def load_group(self, slots: Sequence[int]) -> list[Any]:
+        """Read a whole group of contexts with jointly packed parallel ops."""
+        addrs: list[tuple[int, int]] = []
+        counts: list[int] = []
+        for slot in slots:
+            counts.append(self._used[slot])
+            addrs.extend(self.region.addr(slot, i) for i in range(self._used[slot]))
+        flat = self.array.read_batched(addrs)
+        out, pos = [], 0
+        for c in counts:
+            out.append(blocks_to_object(flat[pos : pos + c]))
+            pos += c
+        return out

@@ -1,0 +1,340 @@
+"""Algorithm 3 — **ParCompoundSuperstep**: BSP* on a ``p``-processor EM machine.
+
+Each real processor ``i`` simulates the virtual processors
+``i*(v/p) .. (i+1)*(v/p)-1`` and owns its own memory, router port, and ``D``
+local disks.  A compound superstep runs in ``v/(p*k)`` *rounds*; in round
+``j`` processor ``i`` simulates virtual processors
+``i*(v/p)+j*k .. i*(v/p)+(j+1)*k-1`` (the *batch* ``j`` comprises the
+``p*k`` virtual processors simulated in round ``j`` across all processors).
+
+Per round:
+
+* **Fetching phase** (Step 1(a)) — each processor reads from its local disks
+  the message blocks pertaining to batch ``j`` (scattered there at random in
+  the previous superstep), combines blocks bound for a common simulating
+  processor into packets of size ``b``, and routes them in one h-relation.
+  It also reads its ``k`` current contexts locally.
+* **Computing phase** (Step 1(b)) — the ``k`` virtual supersteps run; changed
+  contexts go back to the local disks.
+* **Writing phase** (Step 1(c)) — generated messages are split into packets
+  of size ``b`` and each packet is sent to a *uniformly random* processor
+  (balls-into-bins; Lemma 10 bounds the per-processor load whp).  Receivers
+  cut packets into blocks of size ``B`` and append them to their local
+  ``D``-bucket stores with random-permutation disk writes.
+
+After the last round, Step 2 runs Algorithm 2 (`simulate_routing`) locally on
+every processor, producing per-batch standard-consecutive regions for the
+next compound superstep.
+
+The simulation is executed single-threaded (processors are simulated in a
+deterministic order within each phase) but all costs are accounted as the
+model prescribes: per phase the *maximum* over processors of computation,
+packets, and parallel I/O operations, plus the barrier cost ``L`` per
+h-relation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..bsp.message import (
+    Packet,
+    blocks_to_messages,
+    message_to_packets,
+    packet_to_blocks,
+)
+from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
+from ..costs import CostLedger, packets_for
+from ..emio.disk import Block
+from ..emio.diskarray import DiskArray
+from ..emio.layout import RegionAllocator, StripedRegion
+from ..emio.linked import LinkedBuckets
+from ..params import SimulationParams
+from .context import ContextStore
+from .routing import RoutingStats, simulate_routing
+from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+
+__all__ = ["ParallelEMSimulation"]
+
+
+class _RealProcessor:
+    """Per-processor simulation state: disks, contexts, bucket store."""
+
+    def __init__(self, index: int, sim: "ParallelEMSimulation"):
+        self.index = index
+        self.sim = sim
+        m = sim.params.machine
+        self.array = DiskArray(m.D, m.B)
+        self.allocator = RegionAllocator(self.array)
+        self.contexts = ContextStore(
+            self.array,
+            self.allocator,
+            sim.vpp,
+            sim.params.bsp.mu,
+            m.B,
+            name=f"ctx@p{index}",
+        )
+        self.incoming: StripedRegion | None = None
+        self.buckets: LinkedBuckets | None = None
+        self.io_marker = 0
+
+    def io_delta(self) -> int:
+        d = self.array.parallel_ops - self.io_marker
+        self.io_marker = self.array.parallel_ops
+        return d
+
+    def new_buckets(self) -> None:
+        sim = self.sim
+        self.buckets = LinkedBuckets(
+            self.array,
+            self.allocator,
+            nbuckets=sim.params.machine.D,
+            bucket_of=sim.bucket_of_vp,
+            rng=sim.rng,
+            schedule=sim.write_schedule,
+        )
+
+
+class ParallelEMSimulation:
+    """Runs a :class:`BSPAlgorithm` under Algorithm 3 (``p >= 1`` processors).
+
+    With ``p=1`` this degenerates to a close cousin of
+    :class:`~repro.core.seqsim.SequentialEMSimulation` (messages still pass
+    through the packet-scatter path, but there is only one bin to scatter to).
+    """
+
+    def __init__(
+        self,
+        algorithm: BSPAlgorithm,
+        params: SimulationParams,
+        seed: int = 0,
+        enforce_gamma: bool = True,
+        round_robin_writes: bool = False,
+        write_schedule: str | None = None,
+    ):
+        self.algorithm = algorithm
+        self.params = params
+        self.rng = random.Random(seed)
+        self.enforce_gamma = enforce_gamma
+        self.write_schedule = write_schedule or (
+            "rotate" if round_robin_writes else "random"
+        )
+
+        m, s = params.machine, params.bsp
+        self.p = m.p
+        self.v = s.v
+        self.k = params.k
+        self.vpp = s.v // m.p  # virtual processors per real processor
+        self.nbatches = self.vpp // self.k  # rounds per compound superstep
+        self.ledger = CostLedger(m)
+        self.report = SimulationReport(params=params, ledger=self.ledger)
+        self.procs = [_RealProcessor(i, self) for i in range(self.p)]
+
+    # -- placement maps -----------------------------------------------------------
+
+    def owner_of_vp(self, vp: int) -> int:
+        """Real processor simulating virtual processor ``vp``."""
+        return vp // self.vpp
+
+    def batch_of_vp(self, vp: int) -> int:
+        """Round in which ``vp`` is simulated (its *batch* index)."""
+        return (vp % self.vpp) // self.k
+
+    def bucket_of_vp(self, vp: int) -> int:
+        """Local disk bucket of a block destined for ``vp``.
+
+        "Each bucket contains the blocks for ``(v/pk)/D`` batches": batches
+        are ranged evenly into the ``D`` buckets.
+        """
+        return self.batch_of_vp(vp) * self.params.machine.D // self.nbatches
+
+    def round_vps(self, proc: int, j: int) -> list[int]:
+        """Virtual processors simulated by ``proc`` in round ``j``."""
+        base = proc * self.vpp + j * self.k
+        return list(range(base, base + self.k))
+
+    # -- main entry -----------------------------------------------------------------
+
+    def run(self) -> tuple[list[Any], SimulationReport]:
+        """Simulate to completion; return (per-vp outputs, report)."""
+        alg = self.algorithm
+        m = self.params.machine
+        gamma = alg.comm_bound() if self.enforce_gamma else None
+
+        # ---- load input ----
+        for pr in self.procs:
+            for j in range(self.nbatches):
+                vps = self.round_vps(pr.index, j)
+                states = [alg.initial_state(vp, self.v) for vp in vps]
+                local = [vp - pr.index * self.vpp for vp in vps]
+                pr.contexts.save_group(local, states)
+        self.report.init_io_ops = max(pr.io_delta() for pr in self.procs)
+
+        for step in range(alg.MAX_SUPERSTEPS):
+            cost = self.ledger.begin_superstep(label=f"superstep {step}")
+            cost.syncs = 0
+            phases = PhaseBreakdown()
+            for pr in self.procs:
+                pr.new_buckets()
+            all_halted = True
+            blocks_generated = 0
+
+            for j in range(self.nbatches):
+                # ---- Fetching phase: local reads + gather h-relation ----
+                # inbound[q] = blocks for processor q's current k vps.
+                inbound: list[list[Block]] = [[] for _ in range(self.p)]
+                sent_pk = [0] * self.p
+                recv_pk = [0] * self.p
+                for pr in self.procs:
+                    if pr.incoming is not None:
+                        blks = [
+                            blk
+                            for blk in pr.incoming.read_slot(j)
+                            if blk is not None and not blk.dummy
+                        ]
+                    else:
+                        blks = []
+                    # Combine blocks per destination processor into packets
+                    # of size b for the gather h-relation.
+                    by_dest: dict[int, list[Block]] = {}
+                    for blk in blks:
+                        by_dest.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
+                    for q, qblocks in sorted(by_dest.items()):
+                        nrec = sum(b.nrecords(m.B) for b in qblocks)
+                        npk = max(1, packets_for(nrec, m.b))
+                        if q != pr.index:
+                            sent_pk[pr.index] += npk
+                            recv_pk[q] += npk
+                        inbound[q].extend(qblocks)
+                    phases.fetch_messages += 0  # accounted below via io_delta
+                io_this = max(pr.io_delta() for pr in self.procs)
+                phases.fetch_messages += io_this
+                cost.comm_packets += max(
+                    sent_pk[q] + recv_pk[q] for q in range(self.p)
+                )
+                cost.syncs += 1
+
+                # ---- contexts (local) ----
+                round_states: list[list[Any]] = []
+                for pr in self.procs:
+                    local = [
+                        vp - pr.index * self.vpp
+                        for vp in self.round_vps(pr.index, j)
+                    ]
+                    round_states.append(pr.contexts.load_group(local))
+                phases.fetch_context += max(pr.io_delta() for pr in self.procs)
+
+                # ---- Computing phase ----
+                round_comp = [0.0] * self.p
+                # outpackets[q] = packets randomly scattered to processor q.
+                outpackets: list[list[Packet]] = [[] for _ in range(self.p)]
+                scatter_sent = [0] * self.p
+                scatter_recv = [0] * self.p
+                for pr in self.procs:
+                    vps = self.round_vps(pr.index, j)
+                    per_vp_blocks: dict[int, list[Block]] = {vp: [] for vp in vps}
+                    for blk in inbound[pr.index]:
+                        per_vp_blocks[blk.dest].append(blk)
+                    new_states = []
+                    for vp, state in zip(vps, round_states[pr.index]):
+                        msgs = blocks_to_messages(per_vp_blocks[vp])
+                        if gamma is not None:
+                            nrecv = sum(msg.size for msg in msgs)
+                            if nrecv > gamma:
+                                raise AlgorithmError(
+                                    f"vp {vp} received {nrecv} records in "
+                                    f"superstep {step}, exceeding gamma={gamma}"
+                                )
+                        ctx = VPContext(
+                            vp, self.v, step, state, msgs, comm_bound=gamma
+                        )
+                        alg.superstep(ctx)
+                        new_states.append(ctx.state)
+                        if not ctx.halted:
+                            all_halted = False
+                        round_comp[pr.index] += ctx.comp_ops
+                        cost.records_sent += ctx.sent_records
+                        for mi, msg in enumerate(ctx.outbox):
+                            for pkt in message_to_packets(msg, m.b, mi):
+                                target = self.rng.randrange(self.p)
+                                scatter_sent[pr.index] += 1
+                                scatter_recv[target] += 1
+                                outpackets[target].append(pkt)
+                    local = [vp - pr.index * self.vpp for vp in vps]
+                    pr.contexts.save_group(local, new_states)
+                phases.write_context += max(pr.io_delta() for pr in self.procs)
+                cost.comp_ops += max(round_comp)
+
+                # ---- Writing phase: scatter h-relation + bucket writes ----
+                cost.comm_packets += max(
+                    scatter_sent[q] + scatter_recv[q] for q in range(self.p)
+                )
+                cost.syncs += 1
+                for pr in self.procs:
+                    rblocks: list[Block] = []
+                    for pkt in outpackets[pr.index]:
+                        rblocks.extend(packet_to_blocks(pkt, m.B))
+                    blocks_generated += len(rblocks)
+                    pr.buckets.append_blocks(rblocks)
+                phases.write_messages += max(pr.io_delta() for pr in self.procs)
+
+            # ---- Step 2: local reorganization on every processor ----
+            worst_routing: RoutingStats | None = None
+            for pr in self.procs:
+                new_incoming, routing = simulate_routing(
+                    pr.array,
+                    pr.allocator,
+                    pr.buckets,
+                    nslots=self.nbatches,
+                    slot_of=self.batch_of_vp,
+                    name=f"incoming@p{pr.index}s{step + 1}",
+                )
+                pr.buckets.free()
+                pr.buckets = None
+                if pr.incoming is not None:
+                    pr.incoming.free()
+                pr.incoming = new_incoming
+                if (
+                    worst_routing is None
+                    or routing.max_load_ratio > worst_routing.max_load_ratio
+                ):
+                    worst_routing = routing
+            phases.reorganize += max(pr.io_delta() for pr in self.procs)
+            cost.syncs += 1
+
+            cost.io_ops = phases.total
+            cost.records_io = phases.total * m.D * m.B
+            self.report.supersteps.append(
+                SuperstepReport(
+                    index=step,
+                    phases=phases,
+                    routing=worst_routing,
+                    comm_packets=cost.comm_packets,
+                    message_blocks=blocks_generated,
+                    halted=all_halted,
+                )
+            )
+
+            if all_halted and blocks_generated == 0:
+                break
+        else:
+            raise AlgorithmError(
+                f"algorithm did not halt within MAX_SUPERSTEPS={alg.MAX_SUPERSTEPS}"
+            )
+
+        self.ledger.close()
+
+        # ---- unload output ----
+        outputs: list[Any] = [None] * self.v
+        for pr in self.procs:
+            for j in range(self.nbatches):
+                vps = self.round_vps(pr.index, j)
+                local = [vp - pr.index * self.vpp for vp in vps]
+                for vp, state in zip(vps, pr.contexts.load_group(local)):
+                    outputs[vp] = alg.output(vp, state)
+        self.report.output_io_ops = max(pr.io_delta() for pr in self.procs)
+        self.report.disk_space_tracks = max(
+            pr.allocator.high_water for pr in self.procs
+        )
+        return outputs, self.report

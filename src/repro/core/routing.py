@@ -1,0 +1,204 @@
+"""Algorithm 2 — **SimulateRouting**: reorganizing message blocks on disk.
+
+Step 2 of Algorithm 1: the blocks generated during a compound superstep sit
+in ``D`` buckets in *standard linked format*; they must be brought into
+*standard consecutive format*, grouped by destination, so that the fetching
+phase of the next compound superstep can read each group's messages with
+fully parallel I/O (Figure 2 of the paper).
+
+The two phases follow the paper:
+
+* **Phase 1** — "Allocate space for a copy of bucket *i* on disk *i* ...  For
+  the *j*-th parallel read/write: for ``d = 0..D-1`` in parallel, read block
+  ``b_d`` belonging to bucket ``d`` from disk ``(d + j) mod D``; write block
+  ``b_d`` to disk ``d``."  After this phase, bucket ``d`` lies on
+  consecutive tracks of disk ``d`` alone — and, in this implementation,
+  *sorted by final target position*, which the bucket tables make possible
+  without extra I/O (each table entry records its block's destination).
+
+* **Phase 2** — "read the *j*-th block from disk ``d`` and write it to disk
+  ``(d + j) mod D``".  Because every bucket holds the blocks of a contiguous
+  range of destination slots, its targets form a contiguous linear range of
+  the new region; with the copies sorted, round ``j`` of bucket ``d`` writes
+  to linear position ``offset_d + j`` and a per-bucket start stagger of
+  ``(offset_d - d) mod D`` rounds makes the round's write disks exactly
+  ``(d + j) mod D`` — pairwise distinct, the paper's formula.  Phase 2 thus
+  costs one parallel read + one parallel write per round, ``O(total/D + D)``
+  operations in all.
+
+The returned region satisfies Definition 2, and reading any run of
+consecutive destination slots achieves full disk parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..emio.disk import DiskError
+from ..emio.diskarray import DiskArray
+from ..emio.layout import RegionAllocator, StripedRegion
+from ..emio.linked import LinkedBuckets
+
+__all__ = ["simulate_routing", "RoutingStats"]
+
+
+@dataclass
+class RoutingStats:
+    """Diagnostics of one SimulateRouting invocation."""
+
+    total_blocks: int = 0
+    phase1_ops: int = 0
+    phase2_ops: int = 0
+    max_load_ratio: float = 0.0  # Lemma 2 deviation of the bucket store
+
+    @property
+    def io_ops(self) -> int:
+        return self.phase1_ops + self.phase2_ops
+
+
+def simulate_routing(
+    array: DiskArray,
+    allocator: RegionAllocator,
+    buckets: LinkedBuckets,
+    nslots: int,
+    slot_of: Callable[[int], int],
+    name: str = "incoming",
+) -> tuple[StripedRegion, RoutingStats]:
+    """Reorganize ``buckets`` into a new standard-consecutive region.
+
+    Parameters
+    ----------
+    nslots:
+        Number of destination slots in the target region (``v`` in the
+        sequential simulation — one slot per virtual processor; ``v/(p*k)``
+        in the parallel one — one slot per batch).
+    slot_of:
+        Maps a block's destination virtual processor to its target slot.
+        Each bucket must cover a contiguous slot range (true for the
+        engines' ``bucket_of`` maps, which factor through ``slot_of``).
+
+    Returns the freshly allocated region and routing statistics.  The caller
+    is responsible for freeing the bucket store afterwards.
+    """
+    D = array.D
+    stats = RoutingStats(
+        total_blocks=buckets.total_blocks,
+        max_load_ratio=buckets.max_load_ratio(),
+    )
+
+    # ---- Sizing and target assignment (metadata only; the bucket tables
+    # record every block's destination, so no I/O happens here) ----
+    slot_sizes = [0] * nslots
+    for b in range(buckets.nbuckets):
+        for _disk, _track, dest in buckets.iter_bucket_tracks(b):
+            slot_sizes[slot_of(dest)] += 1
+    region = StripedRegion(array, allocator, slot_sizes, name=name)
+
+    if buckets.nbuckets > D:
+        raise DiskError(
+            f"SimulateRouting requires nbuckets ({buckets.nbuckets}) <= D ({D}): "
+            "phase 1 copies bucket i onto disk i"
+        )
+
+    # Per-bucket target lists: targets[b][i] = final linear position of the
+    # i-th table entry of bucket b (entries enumerated disk-major).  Each
+    # bucket's targets must form a contiguous linear range.
+    cursors = list(region.offsets[:nslots])
+    entries: list[list[tuple[int, int, int]]] = []  # (src_disk, track, target)
+    bucket_range: list[tuple[int, int]] = []
+    for b in range(buckets.nbuckets):
+        es = []
+        lo, hi = None, None
+        for disk, track, dest in buckets.iter_bucket_tracks(b):
+            s = slot_of(dest)
+            tgt = cursors[s]
+            cursors[s] += 1
+            es.append((disk, track, tgt))
+            lo = tgt if lo is None else min(lo, tgt)
+            hi = tgt if hi is None else max(hi, tgt)
+        if es and hi - lo + 1 != len(es):
+            raise DiskError(
+                f"bucket {b} targets are not contiguous "
+                "(bucket_of must factor through slot_of monotonically)"
+            )
+        entries.append(es)
+        bucket_range.append((lo if lo is not None else 0, len(es)))
+
+    if stats.total_blocks == 0:
+        return region, stats
+
+    # ---- Phase 1: gather bucket d onto disk d, sorted by target ----
+    max_bucket = max(len(es) for es in entries)
+    copy_base = allocator.allocate(max_bucket)
+    # Per (bucket, source-disk) FIFOs of (track, copy_track, target).
+    queues: list[list[list[tuple[int, int]]]] = []
+    for b in range(buckets.nbuckets):
+        off = bucket_range[b][0]
+        per_disk: list[list[tuple[int, int]]] = [[] for _ in range(D)]
+        for disk, track, tgt in entries[b]:
+            per_disk[disk].append((track, tgt - off))
+        queues.append(per_disk)
+
+    ops_before = array.parallel_ops
+    remaining = stats.total_blocks
+    j = 0
+    while remaining > 0:
+        reads: list[tuple[int, int]] = []
+        writes_meta: list[tuple[int, int]] = []  # (bucket, copy_pos)
+        for d in range(min(D, buckets.nbuckets)):
+            src = (d + j) % D
+            if d < len(queues) and queues[d][src]:
+                track, copy_pos = queues[d][src].pop(0)
+                reads.append((src, track))
+                writes_meta.append((d, copy_pos))
+        j += 1
+        if not reads:
+            continue
+        blocks = array.parallel_read(reads)
+        array.parallel_write(
+            [
+                (bucket, copy_base + pos, blk)
+                for (bucket, pos), blk in zip(writes_meta, blocks)
+            ]
+        )
+        remaining -= len(reads)
+    stats.phase1_ops = array.parallel_ops - ops_before
+
+    # ---- Phase 2: stripe the sorted copies into the target region ----
+    # Bucket d's copy position q targets linear position offset_d + q; a
+    # start stagger of (offset_d - d) mod D rounds gives round j the write
+    # disks (d + j) mod D — pairwise distinct, the paper's schedule.
+    ops_before = array.parallel_ops
+    shifts = [
+        (bucket_range[d][0] - d) % D if bucket_range[d][1] else 0
+        for d in range(min(D, buckets.nbuckets))
+    ]
+    sizes = [bucket_range[d][1] for d in range(min(D, buckets.nbuckets))]
+    total_rounds = max(
+        (shifts[d] + sizes[d] for d in range(len(sizes))), default=0
+    )
+    for j in range(total_rounds):
+        reads = []
+        targets = []
+        for d in range(len(sizes)):
+            q = j - shifts[d]
+            if 0 <= q < sizes[d]:
+                reads.append((d, copy_base + q))
+                targets.append(bucket_range[d][0] + q)
+        if not reads:
+            continue
+        blocks = array.parallel_read(reads)
+        writes = []
+        seen = set()
+        for tgt, blk in zip(targets, blocks):
+            td, tt = tgt % D, region.base + tgt // D
+            if td in seen:  # pragma: no cover - schedule guarantees distinct
+                raise DiskError("phase 2 write collision; stagger broken")
+            seen.add(td)
+            writes.append((td, tt, blk))
+        array.parallel_write(writes)
+    stats.phase2_ops = array.parallel_ops - ops_before
+
+    allocator.release(copy_base, max_bucket)
+    return region, stats

@@ -1,0 +1,267 @@
+"""Algorithm 1 — **SeqCompoundSuperstep**: BSP* on a single-processor EM machine.
+
+Simulates a ``v``-processor BSP* algorithm on one real processor with ``D``
+disks and ``M`` records of memory.  Virtual processors are swapped through
+memory in groups of ``k = floor(M/mu)``; per compound superstep and group:
+
+1. *Fetching phase* — read the group's contexts (Step 1(a)) and incoming
+   message blocks (Step 1(b)) from their standard-consecutive regions.
+2. *Computation phase* — run the group's supersteps in memory (Step 1(c)).
+3. *Writing phase* — cut generated messages into blocks of ``B``, write them
+   to randomly permuted disks into ``D`` destination buckets in standard
+   linked format (Step 1(d)), and write the changed contexts back (Step 1(e)).
+
+After all ``v/k`` groups, Step 2 (:func:`repro.core.routing.simulate_routing`,
+the paper's Algorithm 2) reorganizes the buckets into the next superstep's
+incoming region.
+
+The execution is *transparent*: outputs are identical to the in-memory
+reference runner for every algorithm and every valid parameter choice
+(invariant I3), while every byte travels through the simulated disks under
+the blocking and parallelism discipline of the EM-BSP model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..bsp.message import blocks_to_messages, message_to_blocks
+from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
+from ..costs import CostLedger, packets_for
+from ..emio.disk import Block
+from ..emio.diskarray import DiskArray
+from ..emio.layout import RegionAllocator, StripedRegion
+from ..emio.linked import LinkedBuckets
+from ..params import ParameterError, SimulationParams
+from .context import ContextStore
+from .routing import simulate_routing
+from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+
+__all__ = ["SequentialEMSimulation"]
+
+
+class SequentialEMSimulation:
+    """Runs a :class:`BSPAlgorithm` under Algorithm 1 (single real processor).
+
+    Parameters
+    ----------
+    algorithm:
+        The BSP*/CGM algorithm to simulate.
+    params:
+        Joint machine/virtual-machine parameters (``params.machine.p`` must
+        be 1; use :class:`~repro.core.parsim.ParallelEMSimulation` otherwise).
+    seed:
+        Seed of the random disk-write permutations (Step 1(d)).
+    pad_to_gamma:
+        If True, pad every group's message traffic with dummy blocks to the
+        worst case ``k * ceil(gamma/B)`` the analysis assumes (Lemma 3's
+        "introduction of dummy blocks").  Costs rise to the analytic bound;
+        results are unaffected.
+    enforce_gamma:
+        Enforce the declared per-superstep communication bound on both the
+        sending and receiving side.
+    round_robin_writes:
+        Ablation switch: replace the random write permutation with a
+        deterministic rotation (see the ABL benchmark).
+    write_schedule:
+        Explicit disk-write schedule ("random", "rotate", "static",
+        "balance"); overrides ``round_robin_writes``.  "balance" is the
+        paper's deterministic variant for predetermined (CGM) traffic.
+    """
+
+    def __init__(
+        self,
+        algorithm: BSPAlgorithm,
+        params: SimulationParams,
+        seed: int = 0,
+        pad_to_gamma: bool = False,
+        enforce_gamma: bool = True,
+        round_robin_writes: bool = False,
+        write_schedule: str | None = None,
+    ):
+        if params.machine.p != 1:
+            raise ParameterError(
+                f"SequentialEMSimulation requires p=1, got p={params.machine.p}"
+            )
+        self.algorithm = algorithm
+        self.params = params
+        self.rng = random.Random(seed)
+        self.pad_to_gamma = pad_to_gamma
+        self.enforce_gamma = enforce_gamma
+        self.write_schedule = write_schedule or (
+            "rotate" if round_robin_writes else "random"
+        )
+
+        m = params.machine
+        self.array = DiskArray(m.D, m.B)
+        self.allocator = RegionAllocator(self.array)
+        self.ledger = CostLedger(m)
+        self.report = SimulationReport(params=params, ledger=self.ledger)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _bucket_of(self, dest: int) -> int:
+        """Bucket ``i`` holds blocks for the ``i``-th range of ``v/D`` vps."""
+        v, D = self.params.bsp.v, self.params.machine.D
+        return dest * D // v
+
+    def _io_delta(self, since: int) -> int:
+        return self.array.parallel_ops - since
+
+    # -- main entry ------------------------------------------------------------------
+
+    def run(self) -> tuple[list[Any], SimulationReport]:
+        """Simulate to completion; return (per-vp outputs, report)."""
+        alg = self.algorithm
+        p = self.params
+        v, k = p.bsp.v, p.k
+        B = p.machine.B
+        gamma = alg.comm_bound() if self.enforce_gamma else None
+        gpb = -(-p.bsp.gamma // B) if p.bsp.gamma else 0
+        groups = v // k
+
+        contexts = ContextStore(
+            self.array, self.allocator, v, p.bsp.mu, B, name="contexts"
+        )
+
+        # ---- load input: create and store initial contexts, k at a time ----
+        ops0 = self.array.parallel_ops
+        for g in range(groups):
+            slots = list(range(g * k, (g + 1) * k))
+            states = [alg.initial_state(pid, v) for pid in slots]
+            contexts.save_group(slots, states)
+        self.report.init_io_ops = self._io_delta(ops0)
+
+        incoming: StripedRegion | None = None
+
+        for step in range(alg.MAX_SUPERSTEPS):
+            cost = self.ledger.begin_superstep(label=f"superstep {step}")
+            phases = PhaseBreakdown()
+            buckets = LinkedBuckets(
+                self.array,
+                self.allocator,
+                nbuckets=p.machine.D,
+                bucket_of=self._bucket_of,
+                rng=self.rng,
+                schedule=self.write_schedule,
+            )
+            all_halted = True
+            blocks_generated = 0
+            sent_packets = [0] * v
+            recv_packets = [0] * v
+            dummy_rr = 0
+
+            for g in range(groups):
+                slots = list(range(g * k, (g + 1) * k))
+
+                # -- Fetching phase: Step 1(a) contexts, Step 1(b) messages --
+                t = self.array.parallel_ops
+                states = contexts.load_group(slots)
+                phases.fetch_context += self._io_delta(t)
+
+                t = self.array.parallel_ops
+                if incoming is not None:
+                    group_blocks = incoming.read_slots(slots)
+                else:
+                    group_blocks = [[] for _ in slots]
+                phases.fetch_messages += self._io_delta(t)
+
+                # -- Computation phase: Step 1(c) --
+                group_out_blocks: list[Block] = []
+                new_states = []
+                for pid, state, blks in zip(slots, states, group_blocks):
+                    msgs = blocks_to_messages(blks)
+                    if gamma is not None:
+                        nrecv = sum(m.size for m in msgs)
+                        if nrecv > gamma:
+                            raise AlgorithmError(
+                                f"vp {pid} received {nrecv} records in superstep "
+                                f"{step}, exceeding gamma={gamma}"
+                            )
+                    ctx = VPContext(pid, v, step, state, msgs, comm_bound=gamma)
+                    alg.superstep(ctx)
+                    new_states.append(ctx.state)
+                    if not ctx.halted:
+                        all_halted = False
+                    cost.comp_ops += ctx.comp_ops
+                    for mi, m in enumerate(ctx.outbox):
+                        pk = packets_for(max(m.size, 1), p.machine.b)
+                        sent_packets[pid] += pk
+                        recv_packets[m.dest] += pk
+                        cost.records_sent += m.size
+                        group_out_blocks.extend(message_to_blocks(m, B, mi))
+
+                # -- Writing phase: Step 1(d) messages, Step 1(e) contexts --
+                if self.pad_to_gamma:
+                    want = k * gpb
+                    while len(group_out_blocks) < want:
+                        group_out_blocks.append(
+                            Block(records=[], dest=dummy_rr % v, dummy=True)
+                        )
+                        dummy_rr += 1
+                t = self.array.parallel_ops
+                buckets.append_blocks(group_out_blocks)
+                phases.write_messages += self._io_delta(t)
+                blocks_generated += sum(
+                    0 if b.dummy else 1 for b in group_out_blocks
+                )
+
+                t = self.array.parallel_ops
+                contexts.save_group(slots, new_states)
+                phases.write_context += self._io_delta(t)
+
+            # -- Step 2: reorganize the generated blocks (Algorithm 2) --
+            t = self.array.parallel_ops
+            new_incoming, routing = simulate_routing(
+                self.array,
+                self.allocator,
+                buckets,
+                nslots=v,
+                slot_of=lambda dest: dest,
+                name=f"incoming@{step + 1}",
+            )
+            phases.reorganize += self._io_delta(t)
+            buckets.free()
+            if incoming is not None:
+                incoming.free()
+            incoming = new_incoming
+
+            # BSP*-equivalent communication cost of the *virtual* machine
+            # (diagnostic; the real machine has p=1 and no router traffic).
+            cost.comm_packets = max(
+                (sent_packets[i] + recv_packets[i] for i in range(v)), default=0
+            )
+            cost.io_ops = phases.total
+            cost.records_io = phases.total * p.machine.D * B
+
+            self.report.supersteps.append(
+                SuperstepReport(
+                    index=step,
+                    phases=phases,
+                    routing=routing,
+                    comm_packets=cost.comm_packets,
+                    message_blocks=blocks_generated,
+                    halted=all_halted,
+                )
+            )
+
+            if all_halted and blocks_generated == 0:
+                break
+        else:
+            raise AlgorithmError(
+                f"algorithm did not halt within MAX_SUPERSTEPS={alg.MAX_SUPERSTEPS}"
+            )
+
+        self.ledger.close()
+
+        # ---- unload output, k contexts at a time ----
+        ops0 = self.array.parallel_ops
+        outputs: list[Any] = []
+        for g in range(groups):
+            slots = list(range(g * k, (g + 1) * k))
+            for pid, state in zip(slots, contexts.load_group(slots)):
+                outputs.append(alg.output(pid, state))
+        self.report.output_io_ops = self._io_delta(ops0)
+        self.report.disk_space_tracks = self.allocator.high_water
+        return outputs, self.report

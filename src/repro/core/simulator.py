@@ -1,0 +1,83 @@
+"""Front door for running BSP*/CGM algorithms as EM algorithms.
+
+:func:`simulate` assembles :class:`SimulationParams` from an algorithm's own
+resource declarations, chooses the sequential (Algorithm 1) or parallel
+(Algorithm 3) engine from the machine's ``p``, and runs it.  This is the
+"automatically generated EM algorithm" of the paper's conclusion: the caller
+supplies a parallel algorithm and a machine description; blocking, parallel
+disks, and multiple processors are handled by the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Literal
+
+from ..bsp.program import BSPAlgorithm
+from ..params import BSPParams, MachineParams, SimulationParams
+from .parsim import ParallelEMSimulation
+from .seqsim import SequentialEMSimulation
+from .stats import SimulationReport
+
+__all__ = ["simulate", "build_params"]
+
+
+def build_params(
+    algorithm: BSPAlgorithm,
+    machine: MachineParams,
+    v: int,
+    k: int | None = None,
+    strict: bool = False,
+) -> SimulationParams:
+    """Derive :class:`SimulationParams` from the algorithm's declarations."""
+    return SimulationParams(
+        machine=machine,
+        bsp=BSPParams(
+            v=v,
+            mu=algorithm.context_size(),
+            gamma=max(algorithm.comm_bound(), 1),
+        ),
+        k=k,
+        strict=strict,
+    )
+
+
+def simulate(
+    algorithm: BSPAlgorithm,
+    machine: MachineParams,
+    v: int,
+    k: int | None = None,
+    seed: int = 0,
+    engine: Literal["auto", "sequential", "parallel"] = "auto",
+    strict: bool = False,
+    **engine_kwargs,
+) -> tuple[list[Any], SimulationReport]:
+    """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
+
+    Parameters
+    ----------
+    engine:
+        ``"auto"`` picks Algorithm 1 for ``p == 1`` and Algorithm 3 for
+        ``p > 1``; the other values force an engine (the parallel engine
+        accepts ``p == 1`` and exercises the packet-scatter path).
+    strict:
+        Enforce Theorem 1's side conditions (slackness etc.).
+    engine_kwargs:
+        Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
+        sequential engine, ``round_robin_writes=True`` for ablations).
+
+    Returns
+    -------
+    (outputs, report):
+        ``outputs[i]`` is virtual processor ``i``'s output; ``report`` holds
+        counted model costs and per-phase I/O breakdowns.
+    """
+    params = build_params(algorithm, machine, v, k=k, strict=strict)
+    if engine == "auto":
+        engine = "sequential" if machine.p == 1 else "parallel"
+    if engine == "sequential":
+        sim = SequentialEMSimulation(algorithm, params, seed=seed, **engine_kwargs)
+    elif engine == "parallel":
+        sim = ParallelEMSimulation(algorithm, params, seed=seed, **engine_kwargs)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return sim.run()

@@ -1,0 +1,110 @@
+"""Simulation reports: per-phase counted costs and theory-vs-measured views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..costs import CostLedger
+from ..params import SimulationParams
+from .routing import RoutingStats
+
+__all__ = ["PhaseBreakdown", "SuperstepReport", "SimulationReport"]
+
+
+@dataclass
+class PhaseBreakdown:
+    """Parallel I/O operations of one compound superstep, by phase of Algorithm 1."""
+
+    fetch_context: int = 0
+    fetch_messages: int = 0
+    write_messages: int = 0
+    write_context: int = 0
+    reorganize: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.fetch_context
+            + self.fetch_messages
+            + self.write_messages
+            + self.write_context
+            + self.reorganize
+        )
+
+
+@dataclass
+class SuperstepReport:
+    """Diagnostics of one simulated compound superstep."""
+
+    index: int
+    phases: PhaseBreakdown
+    routing: RoutingStats | None = None
+    comm_packets: int = 0
+    message_blocks: int = 0
+    halted: bool = False
+
+
+@dataclass
+class SimulationReport:
+    """Full record of one EM simulation run.
+
+    Combines the model-cost ledger with per-superstep phase breakdowns and
+    the theoretical bounds of the paper evaluated at the run's parameters,
+    so benchmarks can print measured-vs-predicted side by side.
+    """
+
+    params: SimulationParams
+    ledger: CostLedger
+    supersteps: list[SuperstepReport] = field(default_factory=list)
+    disk_space_tracks: int = 0  # allocator high water, tracks per disk
+    init_io_ops: int = 0  # input loading (excluded from superstep costs)
+    output_io_ops: int = 0  # result unloading
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def io_ops(self) -> int:
+        """Parallel I/O operations across all compound supersteps."""
+        return sum(s.phases.total for s in self.supersteps)
+
+    @property
+    def io_time(self) -> float:
+        return self.params.machine.G * self.io_ops
+
+    @property
+    def max_load_ratio(self) -> float:
+        """Worst Lemma 2 deviation observed in any superstep's bucket store."""
+        return max(
+            (s.routing.max_load_ratio for s in self.supersteps if s.routing),
+            default=0.0,
+        )
+
+    def theoretical_io_bound(self) -> float:
+        """Theorem 1's I/O-operation bound ``lambda * (v/p) * mu / (B*D)``.
+
+        The constant ``l`` and the O() constant are omitted; benchmarks
+        compare measured/predicted ratios across parameter sweeps, where the
+        constants cancel.
+        """
+        return self.num_supersteps * self.params.theoretical_io_ops_per_superstep()
+
+    def io_efficiency(self) -> float:
+        """Measured I/O ops divided by the (constant-free) theoretical bound."""
+        bound = self.theoretical_io_bound()
+        return self.io_ops / bound if bound else float("inf")
+
+    def summary(self) -> dict:
+        d = self.ledger.summary()
+        d.update(
+            {
+                "io_ops_supersteps": self.io_ops,
+                "io_ops_init": self.init_io_ops,
+                "io_ops_output": self.output_io_ops,
+                "theory_io_bound": self.theoretical_io_bound(),
+                "max_load_ratio": self.max_load_ratio,
+                "disk_space_tracks": self.disk_space_tracks,
+            }
+        )
+        return d

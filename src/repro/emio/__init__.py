@@ -1,0 +1,41 @@
+"""Simulated external-memory subsystem: disks, parallel I/O, and disk layouts.
+
+This package models the storage side of the EM-BSP machine of Section 3 of
+the paper: track-addressable disks (:mod:`~repro.emio.disk`), parallel I/O
+operations over ``D`` drives (:mod:`~repro.emio.diskarray`), the deterministic
+*standard consecutive format* (:mod:`~repro.emio.layout`), and the randomized
+*standard linked format* bucket store (:mod:`~repro.emio.linked`).
+"""
+
+from .disk import Block, Disk, DiskError
+from .diskarray import DiskArray
+from .layout import (
+    ConsecutiveRegion,
+    RegionAllocator,
+    StripedRegion,
+    blocks_needed,
+    blocks_to_object,
+    pack_records,
+    pickle_to_blocks,
+    unpack_records,
+)
+from .linked import LinkedBuckets
+from .trace import IOTrace, TraceOp
+
+__all__ = [
+    "Block",
+    "Disk",
+    "DiskError",
+    "DiskArray",
+    "ConsecutiveRegion",
+    "StripedRegion",
+    "RegionAllocator",
+    "LinkedBuckets",
+    "IOTrace",
+    "TraceOp",
+    "blocks_needed",
+    "pack_records",
+    "unpack_records",
+    "pickle_to_blocks",
+    "blocks_to_object",
+]

@@ -1,0 +1,146 @@
+"""A single simulated disk drive: a sequence of track-addressable blocks.
+
+Section 3 of the paper: "Each drive consists of a sequence of *tracks*
+(consecutively numbered starting with 0) which can be accessed by direct
+random access using their unique track number.  A track stores exactly one
+block of ``B`` records."
+
+The disk enforces the blocking discipline — the only I/O primitive is reading
+or writing one whole track — and records access statistics so that higher
+layers (and the Lemma 2 balance benchmarks) can audit behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Block", "Disk", "DiskError"]
+
+
+class DiskError(RuntimeError):
+    """Raised on invalid disk operations (capacity overflow, bad track)."""
+
+
+@dataclass
+class Block:
+    """One disk block: up to ``B`` records plus routing metadata.
+
+    Attributes
+    ----------
+    records:
+        The payload.  A list of at most ``B`` records (arbitrary objects;
+        each list element counts as exactly one record), or a ``bytes``
+        object of at most ``B * Block.BYTES_PER_RECORD`` bytes for opaque
+        (pickled-context) payloads.
+    dest:
+        Destination virtual processor for message blocks; ``-1`` otherwise.
+    src:
+        Source virtual processor for message blocks; ``-1`` otherwise.
+    msg:
+        Message id (unique per (src, superstep)); lets the fetching phase
+        reassemble multi-block messages.
+    seq:
+        Sequence number of this block within its message stream (used by the
+        reorganization step to reassemble per-destination order).
+    dummy:
+        True for padding blocks introduced to reach the worst-case traffic
+        the analysis assumes ("dummy blocks", Lemma 3).
+    """
+
+    BYTES_PER_RECORD = 8
+
+    records: Any
+    dest: int = -1
+    src: int = -1
+    msg: int = 0
+    seq: int = 0
+    dummy: bool = False
+
+    def nrecords(self, B: int) -> int:
+        """Number of records this block carries (bytes payloads count in 8-byte records)."""
+        if isinstance(self.records, (bytes, bytearray)):
+            return -(-len(self.records) // self.BYTES_PER_RECORD)
+        return len(self.records)
+
+    def validate(self, B: int) -> None:
+        n = self.nrecords(B)
+        if n > B:
+            raise DiskError(f"block holds {n} records, exceeds block size B={B}")
+
+
+class Disk:
+    """A simulated disk drive with ``ntracks`` tracks of one block each.
+
+    The drive grows on demand (tracks are allocated lazily) but an explicit
+    capacity can be given to test space bounds.  All accesses are counted.
+    """
+
+    def __init__(self, disk_id: int, B: int, ntracks: int | None = None):
+        self.disk_id = disk_id
+        self.B = B
+        self.capacity = ntracks  # None = unbounded
+        self._tracks: dict[int, Block | None] = {}
+        self.reads = 0
+        self.writes = 0
+        self._high_water = -1  # highest track ever written
+
+    # -- primitives ------------------------------------------------------------
+
+    def _check_track(self, track: int) -> None:
+        if track < 0:
+            raise DiskError(f"negative track number {track}")
+        if self.capacity is not None and track >= self.capacity:
+            raise DiskError(
+                f"track {track} beyond disk {self.disk_id} capacity {self.capacity}"
+            )
+
+    def read_track(self, track: int) -> Block | None:
+        """Read the block stored at ``track`` (one disk access)."""
+        self._check_track(track)
+        self.reads += 1
+        return self._tracks.get(track)
+
+    def write_track(self, track: int, block: Block | None) -> None:
+        """Write ``block`` to ``track`` (one disk access)."""
+        self._check_track(track)
+        if block is not None:
+            block.validate(self.B)
+        self.writes += 1
+        self._tracks[track] = block
+        if track > self._high_water:
+            self._high_water = track
+
+    # -- inspection (free of charge; simulator-internal) -----------------------
+
+    def peek(self, track: int) -> Block | None:
+        """Inspect a track without charging an access (for tests/assertions)."""
+        return self._tracks.get(track)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def used_tracks(self) -> int:
+        """Number of tracks currently holding a block."""
+        return sum(1 for b in self._tracks.values() if b is not None)
+
+    @property
+    def high_water(self) -> int:
+        """Highest track index ever written (-1 if never written)."""
+        return self._high_water
+
+    def occupied(self) -> Iterable[int]:
+        """Track numbers currently holding blocks."""
+        return (t for t, b in self._tracks.items() if b is not None)
+
+    def reset_stats(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Disk(id={self.disk_id}, B={self.B}, used={self.used_tracks}, "
+            f"reads={self.reads}, writes={self.writes})"
+        )

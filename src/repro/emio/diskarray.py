@@ -1,0 +1,152 @@
+"""An array of ``D`` disks supporting *parallel I/O operations*.
+
+Section 3 of the paper: "Each processor can use all of its ``D`` disk drives
+concurrently, and transfer ``D x B`` items from the local disks to its local
+memory in a single I/O operation and at cost ``G``.  In such an operation, we
+permit only one track per disk to be accessed ...  An operation involving
+fewer disk drives incurs the same cost."
+
+:class:`DiskArray` is the only interface through which the simulation touches
+disks.  It enforces the one-track-per-disk rule per operation and counts the
+number of parallel I/O operations — the quantity ``t_I/O / G`` the paper's
+theorems bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .disk import Block, Disk, DiskError
+
+__all__ = ["DiskArray"]
+
+
+class DiskArray:
+    """``D`` simulated disks with parallel-operation accounting.
+
+    Parameters
+    ----------
+    D:
+        Number of drives.
+    B:
+        Block (track) size in records.
+    ntracks:
+        Optional per-disk capacity, to assert the paper's space bounds.
+    """
+
+    def __init__(self, D: int, B: int, ntracks: int | None = None):
+        if D < 1:
+            raise DiskError(f"D must be >= 1, got {D}")
+        self.D = D
+        self.B = B
+        self.disks = [Disk(d, B, ntracks) for d in range(D)]
+        self.parallel_ops = 0
+
+    # -- parallel primitives ---------------------------------------------------
+
+    @staticmethod
+    def _assert_one_per_disk(disk_ids: Sequence[int]) -> None:
+        if len(set(disk_ids)) != len(disk_ids):
+            raise DiskError(
+                "parallel I/O operation touches a disk twice: "
+                f"disk ids {sorted(disk_ids)}"
+            )
+
+    def parallel_read(self, ops: Sequence[tuple[int, int]]) -> list[Block | None]:
+        """One parallel I/O operation reading ``(disk, track)`` pairs.
+
+        At most one track per disk; 1 <= len(ops) <= D.  Returns the blocks in
+        the order requested.  Counts as one parallel operation regardless of
+        how many disks participate.
+        """
+        if not ops:
+            return []
+        if len(ops) > self.D:
+            raise DiskError(f"parallel read of {len(ops)} tracks exceeds D={self.D}")
+        self._assert_one_per_disk([d for d, _ in ops])
+        self.parallel_ops += 1
+        return [self.disks[d].read_track(t) for d, t in ops]
+
+    def parallel_write(self, ops: Sequence[tuple[int, int, Block | None]]) -> None:
+        """One parallel I/O operation writing ``(disk, track, block)`` triples."""
+        if not ops:
+            return
+        if len(ops) > self.D:
+            raise DiskError(f"parallel write of {len(ops)} tracks exceeds D={self.D}")
+        self._assert_one_per_disk([d for d, _, _ in ops])
+        self.parallel_ops += 1
+        for d, t, blk in ops:
+            self.disks[d].write_track(t, blk)
+
+    # -- batched helpers ---------------------------------------------------------
+
+    def read_batched(self, addrs: Iterable[tuple[int, int]]) -> list[Block | None]:
+        """Read many ``(disk, track)`` addresses using as few parallel ops as possible.
+
+        Addresses are greedily packed into rounds with at most one access per
+        disk per round, preserving the input order of the returned blocks.
+        Layouts in *standard consecutive format* always pack perfectly
+        (ceil(n/D) rounds).
+        """
+        addrs = list(addrs)
+        results: list[Block | None] = [None] * len(addrs)
+        pending = list(enumerate(addrs))
+        while pending:
+            used: set[int] = set()
+            round_ops: list[tuple[int, tuple[int, int]]] = []
+            rest: list[tuple[int, tuple[int, int]]] = []
+            for item in pending:
+                d = item[1][0]
+                if d in used or len(round_ops) == self.D:
+                    rest.append(item)
+                else:
+                    used.add(d)
+                    round_ops.append(item)
+            blocks = self.parallel_read([a for _, a in round_ops])
+            for (idx, _), blk in zip(round_ops, blocks):
+                results[idx] = blk
+            pending = rest
+        return results
+
+    def write_batched(self, ops: Iterable[tuple[int, int, Block | None]]) -> int:
+        """Write many ``(disk, track, block)`` triples in packed parallel ops.
+
+        Returns the number of parallel operations used.
+        """
+        before = self.parallel_ops
+        pending = list(ops)
+        while pending:
+            used: set[int] = set()
+            round_ops: list[tuple[int, int, Block | None]] = []
+            rest: list[tuple[int, int, Block | None]] = []
+            for item in pending:
+                if item[0] in used or len(round_ops) == self.D:
+                    rest.append(item)
+                else:
+                    used.add(item[0])
+                    round_ops.append(item)
+            self.parallel_write(round_ops)
+            pending = rest
+        return self.parallel_ops - before
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(d.accesses for d in self.disks)
+
+    @property
+    def used_tracks_per_disk(self) -> list[int]:
+        return [d.used_tracks for d in self.disks]
+
+    @property
+    def high_water_per_disk(self) -> list[int]:
+        return [d.high_water for d in self.disks]
+
+    def reset_stats(self) -> None:
+        self.parallel_ops = 0
+        for d in self.disks:
+            d.reset_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiskArray(D={self.D}, B={self.B}, parallel_ops={self.parallel_ops})"

@@ -1,0 +1,344 @@
+"""Disk data layouts: blocked format and *standard consecutive format*.
+
+Definitions 1 and 2 of the paper:
+
+* A collection of records is in **blocked format** if its records are grouped
+  into blocks of size ``B``.
+* A collection of records stored on ``D`` disks is in **standard consecutive
+  format** if (i) it is blocked, (ii) the number of blocks per disk differs by
+  at most one, and (iii) on each disk the blocks occupy consecutive tracks.
+
+The simulation keeps the virtual-processor contexts and each group's incoming
+messages in standard consecutive format so they can be read and written with
+fully parallel I/O operations.  The context striping follows Section 5.1:
+"we store the *i*-th block of ``V_j`` on disk ``(i + j*(mu/B)) mod D`` using
+track ``floor((i + j*(mu/B)) / D)``".
+
+Two region flavours are provided: :class:`ConsecutiveRegion` holds ``nslots``
+*fixed-size* items (contexts; the paper's preallocated areas), while
+:class:`StripedRegion` holds items of *per-slot sizes* (each superstep's
+incoming-message areas, whose sizes are known exactly once the writing phase
+of the previous superstep completes).  Both use the same linear striping and
+therefore both satisfy Definition 2 and admit fully parallel access to any
+run of consecutive slots.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterable, Sequence
+
+from .disk import Block, DiskError
+from .diskarray import DiskArray
+
+__all__ = [
+    "RegionAllocator",
+    "StripedRegion",
+    "ConsecutiveRegion",
+    "blocks_needed",
+    "pack_records",
+    "unpack_records",
+    "pickle_to_blocks",
+    "blocks_to_object",
+]
+
+
+def blocks_needed(nrecords: int, B: int) -> int:
+    """``ceil(nrecords / B)``: blocks required for ``nrecords`` records."""
+    return -(-nrecords // B)
+
+
+def pack_records(records: Sequence[Any], B: int, dest: int = -1) -> list[Block]:
+    """Cut a record sequence into blocks of size ``B`` (blocked format).
+
+    Every block inherits the destination address ``dest`` and carries a
+    sequence number so the original order can be reassembled.
+    """
+    out = []
+    for seq, i in enumerate(range(0, len(records), B)):
+        out.append(Block(records=list(records[i : i + B]), dest=dest, seq=seq))
+    return out
+
+
+def unpack_records(blocks: Iterable[Block | None]) -> list[Any]:
+    """Concatenate block payloads back into a record list (in ``seq`` order)."""
+    present = [b for b in blocks if b is not None and not b.dummy]
+    present.sort(key=lambda b: b.seq)
+    records: list[Any] = []
+    for b in present:
+        records.extend(b.records)
+    return records
+
+
+def pickle_to_blocks(obj: Any, B: int, max_records: int | None = None) -> list[Block]:
+    """Serialize ``obj`` and split the bytes into blocks of ``B`` records.
+
+    One record carries :attr:`Block.BYTES_PER_RECORD` bytes of the pickle.
+    If ``max_records`` is given and the serialized size exceeds it, a
+    :class:`DiskError` is raised — this is how the simulator enforces the
+    declared context bound ``mu``.
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    bpr = Block.BYTES_PER_RECORD
+    nrec = -(-len(data) // bpr)
+    if max_records is not None and nrec > max_records:
+        raise DiskError(
+            f"serialized context needs {nrec} records, exceeds declared bound "
+            f"{max_records}; raise the algorithm's context_size()"
+        )
+    chunk = B * bpr
+    return [
+        Block(records=data[i : i + chunk], seq=seq)
+        for seq, i in enumerate(range(0, max(len(data), 1), chunk))
+    ]
+
+
+def blocks_to_object(blocks: Iterable[Block | None]) -> Any:
+    """Inverse of :func:`pickle_to_blocks`."""
+    present = sorted((b for b in blocks if b is not None), key=lambda b: b.seq)
+    data = b"".join(bytes(b.records) for b in present)
+    return pickle.loads(data)
+
+
+class RegionAllocator:
+    """Hands out disjoint track ranges (uniform across all disks) of a disk array.
+
+    Released ranges are kept on a free list and reused, so alternating
+    per-superstep scratch areas (message buckets, reorganization copies,
+    incoming regions) occupy bounded disk space over a long run — matching
+    the paper's ``O(v*mu/DB)`` blocks-per-disk space bound.
+    """
+
+    def __init__(self, array: DiskArray):
+        self.array = array
+        self.next_track = 0
+        self._free: list[tuple[int, int]] = []  # (size, base), kept sorted
+
+    def allocate(self, tracks_per_disk: int) -> int:
+        """Reserve ``tracks_per_disk`` consecutive tracks on every disk.
+
+        Returns the base track of the reserved range.
+        """
+        if tracks_per_disk < 0:
+            raise DiskError(f"cannot allocate {tracks_per_disk} tracks")
+        # Best-fit from the free list.
+        for i, (size, base) in enumerate(self._free):
+            if size >= tracks_per_disk:
+                del self._free[i]
+                if size > tracks_per_disk:
+                    self._insert_free(size - tracks_per_disk, base + tracks_per_disk)
+                return base
+        base = self.next_track
+        self.next_track += tracks_per_disk
+        return base
+
+    def release(self, base: int, tracks_per_disk: int) -> None:
+        """Return a previously allocated range to the free list.
+
+        Freed tracks are also cleared on every disk (metadata operation; no
+        I/O is charged — deallocation touches no data).
+        """
+        if tracks_per_disk <= 0:
+            return
+        for disk in self.array.disks:
+            for t in range(base, base + tracks_per_disk):
+                disk._tracks.pop(t, None)
+        if base + tracks_per_disk == self.next_track:
+            self.next_track = base
+            self._coalesce_tail()
+        else:
+            self._insert_free(tracks_per_disk, base)
+
+    def _insert_free(self, size: int, base: int) -> None:
+        import bisect
+
+        bisect.insort(self._free, (size, base))
+
+    def _coalesce_tail(self) -> None:
+        # Fold free ranges that now touch the tail back into next_track.
+        changed = True
+        while changed:
+            changed = False
+            for i, (size, base) in enumerate(self._free):
+                if base + size == self.next_track:
+                    self.next_track = base
+                    del self._free[i]
+                    changed = True
+                    break
+
+    @property
+    def high_water(self) -> int:
+        """Tracks per disk ever reserved simultaneously (space bound check)."""
+        return self.next_track
+
+
+class StripedRegion:
+    """A striped on-disk region holding ``len(slot_sizes)`` variable-size items.
+
+    Item ``j``'s blocks occupy linear positions ``offset[j] .. offset[j+1])``
+    of the region; linear position ``q`` lives on disk ``q mod D`` at track
+    ``base + q div D``.  The layout satisfies Definition 2 (standard
+    consecutive format) and any run of consecutive slots — in particular one
+    simulation group's ``k`` incoming-message areas — maps to consecutive
+    linear positions and is therefore transferable at full disk parallelism.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        allocator: RegionAllocator,
+        slot_sizes: Sequence[int],
+        name: str = "",
+    ):
+        self.array = array
+        self.allocator = allocator
+        self.name = name
+        self.slot_sizes = list(slot_sizes)
+        self.offsets = [0]
+        for s in self.slot_sizes:
+            if s < 0:
+                raise DiskError(f"negative slot size in region {name!r}")
+            self.offsets.append(self.offsets[-1] + s)
+        self.total_blocks = self.offsets[-1]
+        self.tracks_per_disk = (
+            -(-self.total_blocks // array.D) if self.total_blocks else 0
+        )
+        self.base = allocator.allocate(self.tracks_per_disk)
+        self._freed = False
+
+    @property
+    def nslots(self) -> int:
+        return len(self.slot_sizes)
+
+    def _linear_addr(self, q: int) -> tuple[int, int]:
+        return q % self.array.D, self.base + q // self.array.D
+
+    def addr(self, slot: int, i: int) -> tuple[int, int]:
+        """(disk, track) address of block ``i`` of slot ``slot``."""
+        if self._freed:
+            raise DiskError(f"region {self.name!r} used after free")
+        if not (0 <= slot < self.nslots):
+            raise DiskError(f"slot {slot} outside region {self.name!r}")
+        if not (0 <= i < self.slot_sizes[slot]):
+            raise DiskError(
+                f"block index {i} outside slot {slot} of size "
+                f"{self.slot_sizes[slot]} in region {self.name!r}"
+            )
+        return self._linear_addr(self.offsets[slot] + i)
+
+    def slot_addrs(self, slot: int) -> list[tuple[int, int]]:
+        return [self.addr(slot, i) for i in range(self.slot_sizes[slot])]
+
+    # -- I/O ---------------------------------------------------------------------
+
+    def read_slot(self, slot: int) -> list[Block | None]:
+        """Read all blocks of one slot (fully parallel)."""
+        return self.array.read_batched(self.slot_addrs(slot))
+
+    def write_slot(self, slot: int, blocks: Sequence[Block | None]) -> None:
+        """Write all blocks of one slot (fully parallel)."""
+        if len(blocks) > self.slot_sizes[slot]:
+            raise DiskError(
+                f"slot {slot} of region {self.name!r}: {len(blocks)} blocks "
+                f"exceed slot size {self.slot_sizes[slot]}"
+            )
+        padded = list(blocks) + [None] * (self.slot_sizes[slot] - len(blocks))
+        self.array.write_batched(
+            [(d, t, blk) for (d, t), blk in zip(self.slot_addrs(slot), padded)]
+        )
+
+    def read_slots(self, slots: Sequence[int]) -> list[list[Block | None]]:
+        """Read several slots with jointly packed parallel operations."""
+        addrs: list[tuple[int, int]] = []
+        for s in slots:
+            addrs.extend(self.slot_addrs(s))
+        flat = self.array.read_batched(addrs)
+        out, pos = [], 0
+        for s in slots:
+            out.append(flat[pos : pos + self.slot_sizes[s]])
+            pos += self.slot_sizes[s]
+        return out
+
+    def write_slots(
+        self, slots: Sequence[int], blocks_per: Sequence[Sequence[Block | None]]
+    ) -> None:
+        """Write several slots with jointly packed parallel operations."""
+        ops: list[tuple[int, int, Block | None]] = []
+        for s, blocks in zip(slots, blocks_per):
+            if len(blocks) > self.slot_sizes[s]:
+                raise DiskError(
+                    f"slot {s} of region {self.name!r}: {len(blocks)} blocks "
+                    f"exceed slot size {self.slot_sizes[s]}"
+                )
+            padded = list(blocks) + [None] * (self.slot_sizes[s] - len(blocks))
+            ops.extend((d, t, blk) for (d, t), blk in zip(self.slot_addrs(s), padded))
+        self.array.write_batched(ops)
+
+    def free(self) -> None:
+        """Release this region's track range back to the allocator."""
+        if not self._freed:
+            self.allocator.release(self.base, self.tracks_per_disk)
+            self._freed = True
+
+    # -- invariant check (used by property tests) ----------------------------------
+
+    def check_standard_consecutive(self) -> None:
+        """Assert Definition 2 for this region's address map."""
+        per_disk: dict[int, list[int]] = {d: [] for d in range(self.array.D)}
+        for q in range(self.total_blocks):
+            d, t = self._linear_addr(q)
+            per_disk[d].append(t)
+        counts = [len(ts) for ts in per_disk.values()]
+        if counts and max(counts) - min(counts) > 1:
+            raise DiskError(
+                f"region {self.name!r}: per-disk block counts {counts} differ by >1"
+            )
+        for d, ts in per_disk.items():
+            for a, b in zip(ts, ts[1:]):
+                if b != a + 1:
+                    raise DiskError(
+                        f"region {self.name!r}: non-consecutive tracks on disk {d}"
+                    )
+            if ts and ts[0] != self.base:
+                raise DiskError(
+                    f"region {self.name!r}: disk {d} does not start at base track"
+                )
+
+
+class ConsecutiveRegion(StripedRegion):
+    """A striped region of ``nslots`` *fixed-size* items (the paper's
+    preallocated context and message areas).
+
+    Block ``i`` of item ``j`` lives at linear position ``j*blocks_per_item + i``
+    — on disk ``(i + j*blocks_per_item) mod D``, matching the context striping
+    formula of Section 5.1 verbatim.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        allocator: RegionAllocator,
+        nslots: int,
+        blocks_per_item: int,
+        name: str = "",
+    ):
+        self.blocks_per_item = blocks_per_item
+        super().__init__(array, allocator, [blocks_per_item] * nslots, name=name)
+
+    # Backwards-compatible aliases used by the context store.
+    def item_addrs(self, item: int) -> list[tuple[int, int]]:
+        return self.slot_addrs(item)
+
+    def read_item(self, item: int) -> list[Block | None]:
+        return self.read_slot(item)
+
+    def write_item(self, item: int, blocks: Sequence[Block | None]) -> None:
+        self.write_slot(item, blocks)
+
+    def read_items(self, items: Sequence[int]) -> list[list[Block | None]]:
+        return self.read_slots(items)
+
+    def write_items(
+        self, items: Sequence[int], blocks_per: Sequence[Sequence[Block | None]]
+    ) -> None:
+        self.write_slots(items, blocks_per)

@@ -1,0 +1,211 @@
+"""*Standard linked format*: the randomized bucket store of Section 5.1.
+
+After the computation phase of a group, the generated message blocks are
+written to disk immediately, one random permutation of disks per write cycle:
+
+    "In each round a group of ``D`` blocks ``b_i`` is written in parallel to
+    the disks by choosing a random permutation ``pi`` of ``{0..D-1}`` and
+    writing block ``b_i`` to disk ``pi(i)``."
+
+Blocks are partitioned into ``D`` *buckets* by destination: bucket ``i`` holds
+the blocks destined for the ``i``-th contiguous range of virtual processors.
+On each disk, the blocks of a bucket form a linked list; the paper maintains
+"a table of ``D`` pointers on each disk" pointing at the list heads.  We keep
+the equivalent table in memory (one integer per stored block); its maintenance
+piggybacks on block writes exactly as in the paper and incurs no extra I/O.
+
+Lemma 2 shows that the random permutation writes leave every bucket spread
+almost evenly over the disks — the property the reorganization step
+(:mod:`repro.core.routing`) relies on, and which the ``LEM2`` benchmark
+measures empirically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from .disk import Block, DiskError
+from .diskarray import DiskArray
+from .layout import RegionAllocator
+
+__all__ = ["LinkedBuckets"]
+
+
+class LinkedBuckets:
+    """``nbuckets`` buckets of message blocks in standard linked format.
+
+    Free tracks are drawn from ``allocator`` in chunks of ``chunk`` tracks
+    per disk, so the store grows with actual traffic and releases everything
+    back with :meth:`free` at the end of the superstep.
+
+    Parameters
+    ----------
+    array:
+        The disk array to write to.
+    allocator:
+        Source of track ranges.
+    nbuckets:
+        Number of buckets (the paper uses ``D``).
+    bucket_of:
+        Mapping from a block's destination virtual processor to its bucket.
+    rng:
+        Source of the random write permutations.
+    schedule:
+        Disk-assignment policy per write cycle — ablation modes for what
+        Lemma 2's randomization buys:
+
+        * ``"random"`` (the paper): a fresh uniform permutation per cycle;
+          balance holds whp for *every* traffic pattern.
+        * ``"rotate"``: deterministic rotation by the cycle index; balanced
+          for benign traffic but defeatable by adversarial correlation.
+        * ``"static"``: the identity permutation every cycle; traffic whose
+          in-cycle position correlates with the bucket piles whole buckets
+          onto single disks (load ratio ``D``).
+        * ``"balance"``: deterministic greedy least-loaded assignment — the
+          paper's remark that "for communication of predetermined size,
+          such as occurs in a CGM, our simulation result can be made
+          deterministic": each block goes to the cycle-free disk where its
+          bucket currently has the smallest load.
+    """
+
+    def __init__(
+        self,
+        array: DiskArray,
+        allocator: RegionAllocator,
+        nbuckets: int,
+        bucket_of: Callable[[int], int],
+        rng: random.Random,
+        chunk: int = 16,
+        schedule: str = "random",
+    ):
+        if schedule not in ("random", "rotate", "static", "balance"):
+            raise ValueError(f"unknown write schedule {schedule!r}")
+        self.array = array
+        self.allocator = allocator
+        self.nbuckets = nbuckets
+        self.bucket_of = bucket_of
+        self.rng = rng
+        self.chunk = max(1, chunk)
+        self.schedule = schedule
+        self._cycle = 0
+        # Reserved track ranges (base, size) and the per-disk next-free pointer.
+        self._ranges: list[tuple[int, int]] = []
+        self._free_tracks: list[list[int]] = [[] for _ in range(array.D)]
+        # table[bucket][disk] = list of (track, dest) pairs for that bucket's
+        # blocks on that disk (the per-disk pointer tables of the paper,
+        # augmented with the block's destination so the reorganization step
+        # can size the target region without extra I/O).
+        self.table: list[list[list[tuple[int, int]]]] = [
+            [[] for _ in range(array.D)] for _ in range(nbuckets)
+        ]
+        self.blocks_written = 0
+
+    def _grab_chunk(self) -> None:
+        base = self.allocator.allocate(self.chunk)
+        self._ranges.append((base, self.chunk))
+        for d in range(self.array.D):
+            self._free_tracks[d].extend(range(base, base + self.chunk))
+
+    def _next_track(self, disk: int) -> int:
+        if not self._free_tracks[disk]:
+            self._grab_chunk()
+        return self._free_tracks[disk].pop(0)
+
+    # -- writing (Step 1(d) of Algorithm 1) -----------------------------------
+
+    def append_blocks(self, blocks: Sequence[Block]) -> int:
+        """Write message blocks in random-permutation cycles of ``D`` blocks.
+
+        Returns the number of parallel I/O operations used
+        (``ceil(len(blocks)/D)``).
+        """
+        ops_before = self.array.parallel_ops
+        D = self.array.D
+        for start in range(0, len(blocks), D):
+            cycle = blocks[start : start + D]
+            perm = list(range(D))
+            if self.schedule == "rotate":
+                r = self._cycle % D
+                perm = perm[r:] + perm[:r]
+            elif self.schedule == "random":
+                self.rng.shuffle(perm)
+            elif self.schedule == "balance":
+                perm = self._balanced_assignment(cycle)
+            self._cycle += 1
+            writes = []
+            for i, blk in enumerate(cycle):
+                disk = perm[i]
+                track = self._next_track(disk)
+                bucket = self.bucket_of(blk.dest)
+                if not (0 <= bucket < self.nbuckets):
+                    raise DiskError(
+                        f"block dest {blk.dest} maps to invalid bucket {bucket}"
+                    )
+                self.table[bucket][disk].append((track, blk.dest))
+                writes.append((disk, track, blk))
+            self.array.parallel_write(writes)
+            self.blocks_written += len(cycle)
+        return self.array.parallel_ops - ops_before
+
+    def _balanced_assignment(self, cycle: Sequence[Block]) -> list[int]:
+        """Deterministic least-loaded disk assignment for one write cycle.
+
+        Greedy: process blocks in bucket order; each takes the still-free
+        disk where its bucket's current load is smallest (ties to the lowest
+        disk id).  For predetermined uniform traffic — the CGM case — this
+        keeps every bucket's per-disk loads within 1 of each other, making
+        the whole simulation deterministic as the paper notes.
+        """
+        free = set(range(self.array.D))
+        perm = [0] * len(cycle)
+        order = sorted(range(len(cycle)), key=lambda i: self.bucket_of(cycle[i].dest))
+        for i in order:
+            bucket = self.bucket_of(cycle[i].dest)
+            loads = self.table[bucket]
+            disk = min(free, key=lambda d: (len(loads[d]), d))
+            free.remove(disk)
+            perm[i] = disk
+        return perm
+
+    # -- inspection --------------------------------------------------------------
+
+    def bucket_size(self, bucket: int) -> int:
+        """Total blocks currently held by ``bucket`` across all disks."""
+        return sum(len(tr) for tr in self.table[bucket])
+
+    def bucket_disk_loads(self, bucket: int) -> list[int]:
+        """Per-disk block counts of ``bucket`` — the ``X_{j,k}`` of Lemma 2."""
+        return [len(tr) for tr in self.table[bucket]]
+
+    def max_load_ratio(self) -> float:
+        """max over (bucket, disk) of load / (R/D), the Lemma 2 deviation factor.
+
+        ``R`` is taken per bucket as that bucket's actual size.  Buckets with
+        no blocks are skipped.
+        """
+        worst = 0.0
+        for j in range(self.nbuckets):
+            R = self.bucket_size(j)
+            if R == 0:
+                continue
+            expected = R / self.array.D
+            worst = max(worst, max(self.bucket_disk_loads(j)) / expected)
+        return worst
+
+    def iter_bucket_tracks(self, bucket: int) -> Iterable[tuple[int, int, int]]:
+        """Yield (disk, track, dest) triples of a bucket's blocks."""
+        for disk, entries in enumerate(self.table[bucket]):
+            for t, dest in entries:
+                yield disk, t, dest
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.bucket_size(j) for j in range(self.nbuckets))
+
+    def free(self) -> None:
+        """Release all reserved track ranges back to the allocator."""
+        for base, size in self._ranges:
+            self.allocator.release(base, size)
+        self._ranges.clear()
+        self._free_tracks = [[] for _ in range(self.array.D)]

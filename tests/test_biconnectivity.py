@@ -1,0 +1,118 @@
+"""Tests for biconnected components (Tarjan–Vishkin composition)."""
+
+import networkx as nx
+import pytest
+
+from repro import workloads
+from repro.algorithms.graphs.biconnectivity import (
+    biconnected_components,
+    root_tree,
+)
+from repro.core.simulator import simulate
+from repro.params import MachineParams
+
+MACHINE = MachineParams(p=1, M=1 << 17, D=2, B=32, b=32)
+
+
+def nx_bicomps(nverts, edges):
+    g = nx.Graph()
+    g.add_nodes_from(range(nverts))
+    g.add_edges_from(edges)
+    return sorted(
+        (
+            frozenset((min(a, b), max(a, b)) for a, b in comp)
+            for comp in nx.biconnected_component_edges(g)
+        ),
+        key=lambda s: sorted(s),
+    )
+
+
+class TestRootTree:
+    @pytest.mark.parametrize("n,v", [(2, 2), (12, 4), (40, 4)])
+    def test_roots_scrambled_tree(self, n, v):
+        import random
+
+        edges = workloads.random_tree_edges(n, seed=n)
+        rng = random.Random(n)
+        scrambled = [
+            (b, a) if rng.random() < 0.5 else (a, b) for a, b in edges
+        ]
+        rooted = root_tree(scrambled, 0, v)
+        assert sorted((min(e), max(e)) for e in rooted) == sorted(
+            (min(e), max(e)) for e in edges
+        )
+        parent = {c: p for p, c in rooted}
+        assert 0 not in parent
+        # Every node reaches the root through parents.
+        for node in range(1, n):
+            cur, hops = node, 0
+            while cur != 0:
+                cur = parent[cur]
+                hops += 1
+                assert hops <= n
+        # The orientation matches the original parent relation.
+        assert sorted(rooted) == sorted(edges)
+
+    def test_empty(self):
+        assert root_tree([], 0, 2) == []
+
+
+class TestBiconnectedComponents:
+    def test_single_cycle(self):
+        n = 6
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        comps = biconnected_components(n, edges, 4)
+        assert len(comps) == 1
+        assert comps[0] == frozenset((min(a, b), max(a, b)) for a, b in edges)
+
+    def test_two_cycles_sharing_a_vertex(self):
+        # 0-1-2-0 and 2-3-4-2: articulation point 2.
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        comps = biconnected_components(5, edges, 4)
+        assert len(comps) == 2
+        assert frozenset([(0, 1), (1, 2), (0, 2)]) in comps
+        assert frozenset([(2, 3), (3, 4), (2, 4)]) in comps
+
+    def test_bridge_is_own_component(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]  # triangle + pendant bridge
+        comps = biconnected_components(4, edges, 4)
+        assert frozenset([(2, 3)]) in comps
+        assert len(comps) == 2
+
+    def test_tree_every_edge_is_a_component(self):
+        n = 12
+        edges = workloads.random_tree_edges(n, seed=4)
+        comps = biconnected_components(n, edges, 4)
+        assert len(comps) == n - 1
+        assert all(len(c) == 1 for c in comps)
+
+    @pytest.mark.parametrize(
+        "n,m,seed", [(12, 20, 1), (20, 30, 2), (30, 45, 3), (25, 60, 4)]
+    )
+    def test_matches_networkx_connected(self, n, m, seed):
+        edges = workloads.random_graph_edges(n, m, seed=seed, connected=True)
+        assert biconnected_components(n, edges, 4) == nx_bicomps(n, edges)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_matches_networkx_disconnected(self, seed):
+        n = 24
+        edges = workloads.random_graph_edges(n, 20, seed=seed, connected=False)
+        assert biconnected_components(n, edges, 4) == nx_bicomps(n, edges)
+
+    def test_parallel_edges_merged(self):
+        edges = [(0, 1), (1, 0), (1, 2)]
+        comps = biconnected_components(3, edges, 2)
+        assert comps == nx_bicomps(3, [(0, 1), (1, 2)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            biconnected_components(2, [(0, 0)], 2)
+
+    def test_empty_graph(self):
+        assert biconnected_components(5, [], 2) == []
+
+    def test_through_em_engine(self):
+        n = 16
+        edges = workloads.random_graph_edges(n, 26, seed=9, connected=True)
+        run = lambda alg, vv: simulate(alg, MACHINE, v=vv, seed=2)[0]
+        assert biconnected_components(n, edges, 4, run=run) == nx_bicomps(n, edges)

@@ -1,0 +1,118 @@
+"""Unit tests for the BSP front-end: messages, packets, contexts, runner."""
+
+import pytest
+
+from repro.bsp.message import (
+    Message,
+    Packet,
+    blocks_to_messages,
+    message_to_blocks,
+    message_to_packets,
+    packet_to_blocks,
+)
+from repro.bsp.program import AlgorithmError, VPContext
+from repro.bsp.runner import ReferenceRunner
+from repro.params import MachineParams
+
+from .helpers import NoCommunication, RingShift
+
+
+class TestMessage:
+    def test_size(self):
+        assert Message(0, 1, [1, 2, 3]).size == 3
+        assert Message(0, 1).size == 0
+
+    def test_iter(self):
+        assert list(Message(0, 1, ["a", "b"])) == ["a", "b"]
+
+    def test_empty_message_yields_one_block(self):
+        blocks = message_to_blocks(Message(2, 3), B=4, msg_id=9)
+        assert len(blocks) == 1
+        assert blocks[0].dest == 3 and blocks[0].src == 2 and blocks[0].msg == 9
+
+    def test_blocking_boundaries(self):
+        for n in (1, 3, 4, 5, 8, 9):
+            blocks = message_to_blocks(Message(0, 1, list(range(n))), B=4, msg_id=0)
+            assert len(blocks) == -(-n // 4)
+            assert sum(len(b.records) for b in blocks) == n
+
+
+class TestPackets:
+    def test_empty_message_one_packet(self):
+        pkts = message_to_packets(Message(1, 2), b=8, msg_id=0)
+        assert len(pkts) == 1 and pkts[0].size == 0
+
+    def test_packet_sizes(self):
+        pkts = message_to_packets(Message(1, 2, list(range(20))), b=8, msg_id=0)
+        assert [p.size for p in pkts] == [8, 8, 4]
+        assert [p.offset for p in pkts] == [0, 8, 16]
+
+    def test_packet_to_blocks_seq_is_global_offset(self):
+        pkt = Packet(src=1, dest=2, msg=0, offset=16, records=list(range(10)))
+        blocks = packet_to_blocks(pkt, B=4)
+        assert [b.seq for b in blocks] == [16, 20, 24]
+
+    def test_packets_via_blocks_roundtrip(self):
+        msg = Message(3, 4, list(range(23)))
+        blocks = []
+        for pkt in message_to_packets(msg, b=7, msg_id=5):
+            blocks.extend(packet_to_blocks(pkt, B=3))
+        (back,) = blocks_to_messages(reversed(blocks))
+        assert back.payload == msg.payload
+        assert (back.src, back.dest) == (3, 4)
+
+
+class TestVPContext:
+    def test_send_records_counted(self):
+        ctx = VPContext(0, 4, 0, {}, [], comm_bound=10)
+        ctx.send(1, [1, 2, 3])
+        assert ctx.sent_records == 3
+        with pytest.raises(AlgorithmError):
+            ctx.send(2, list(range(8)))  # 3 + 8 > 10
+
+    def test_send_all_skips_empty(self):
+        ctx = VPContext(0, 4, 0, {}, [])
+        ctx.send_all({1: [5], 2: [], 3: [7, 8]})
+        assert sorted(m.dest for m in ctx.outbox) == [1, 3]
+
+    def test_charge_accumulates(self):
+        ctx = VPContext(0, 2, 0, {}, [])
+        ctx.charge(5)
+        ctx.charge(2.5)
+        assert ctx.comp_ops == 7.5
+
+    def test_vote_halt(self):
+        ctx = VPContext(0, 2, 0, {}, [])
+        assert not ctx.halted
+        ctx.vote_halt()
+        assert ctx.halted
+
+
+class TestReferenceRunner:
+    def test_rejects_bad_v(self):
+        with pytest.raises(ValueError):
+            ReferenceRunner(NoCommunication(), 0)
+
+    def test_counts_supersteps(self):
+        r = ReferenceRunner(RingShift(payload_size=2, rounds=3), 4)
+        r.run()
+        assert r.supersteps_executed == 4
+
+    def test_comm_cost_uses_packets(self):
+        machine = MachineParams(b=2, M=1024, B=16)
+        r = ReferenceRunner(RingShift(payload_size=6, rounds=1), 4, machine=machine)
+        _, ledger = r.run()
+        # 6 records sent + 6 received per vp per round, b=2: 6 packets.
+        assert ledger.supersteps[0].comm_packets == 6
+
+    def test_comm_bound_enforcement_togglable(self):
+        class Chatty(RingShift):
+            def comm_bound(self):
+                return 1  # lie
+
+        with pytest.raises(AlgorithmError):
+            ReferenceRunner(Chatty(payload_size=4), 4).run()
+        out, _ = ReferenceRunner(
+            Chatty(payload_size=4), 4, enforce_comm_bound=False
+        ).run()
+        assert len(out) == 4

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    @pytest.mark.parametrize(
+        "cmd",
+        [
+            ["sort", "--n", "256", "--v", "4"],
+            ["permute", "--n", "256", "--v", "4"],
+            ["transpose", "--n", "256", "--v", "4"],
+            ["listrank", "--n", "128", "--v", "4"],
+            ["cc", "--n", "64", "--v", "4"],
+            ["hull", "--n", "128", "--v", "4"],
+            ["delaunay", "--n", "48", "--v", "4"],
+        ],
+    )
+    def test_subcommands_run(self, cmd, capsys):
+        assert main(cmd) == 0
+        out = capsys.readouterr().out
+        assert "parallel I/O operations" in out
+        assert "lambda" in out
+
+    def test_sort_with_baselines(self, capsys):
+        assert main(["sort", "--n", "512", "--v", "4", "--compare-baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "EM mergesort" in out
+        assert "Sibeyn-Kaufmann" in out
+
+    def test_listrank_with_pram(self, capsys):
+        assert main(["listrank", "--n", "128", "--v", "4", "--compare-pram"]) == 0
+        assert "PRAM simulation" in capsys.readouterr().out
+
+    def test_machines_overview(self, capsys):
+        assert main(["machines", "--n", "512", "--v", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "laptop" in out and "diskarray" in out and "cluster" in out
+
+    def test_multiprocessor_run(self, capsys):
+        assert main(["sort", "--n", "256", "--v", "4", "-p", "2"]) == 0
+        assert "p=2" in capsys.readouterr().out
+
+    def test_custom_machine_flags(self, capsys):
+        assert main(
+            ["permute", "--n", "256", "--v", "4", "-D", "8", "-B", "16",
+             "--G", "25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "D=8" in out and "B=16" in out and "G=25" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,117 @@
+"""Tests for ear decomposition (structural verification of the ear axioms)."""
+
+import networkx as nx
+import pytest
+
+from repro import workloads
+from repro.algorithms.graphs.eardecomposition import ear_decomposition
+from repro.core.simulator import simulate
+from repro.params import MachineParams
+
+MACHINE = MachineParams(p=1, M=1 << 17, D=2, B=32, b=32)
+
+
+def two_edge_connected_graph(n, extra, seed):
+    """A cycle through all vertices plus ``extra`` chords: 2-edge-connected."""
+    import random
+
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = {(min(a, b), max(a, b)) for a, b in zip(order, order[1:] + order[:1])}
+    while len(edges) < n + extra:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return sorted(edges)
+
+
+def check_ear_axioms(nverts, edges, ears):
+    """The defining properties of an ear decomposition."""
+    # Every edge in exactly one ear.
+    flat = [e for ear in ears for e in ear]
+    assert sorted(flat) == sorted(edges)
+    assert len(flat) == len(set(flat))
+
+    def endpoints_and_pathness(ear):
+        deg = {}
+        for a, b in ear:
+            deg[a] = deg.get(a, 0) + 1
+            deg[b] = deg.get(b, 0) + 1
+        odd = [u for u, d in deg.items() if d == 1]
+        g = nx.Graph(ear)
+        assert nx.is_connected(g), "ear must be connected"
+        if odd:
+            assert len(odd) == 2, "ear must be a simple path"
+            assert all(d <= 2 for d in deg.values())
+            return set(odd), set(deg)
+        # cycle
+        assert all(d == 2 for d in deg.values())
+        return set(deg), set(deg)
+
+    # Ear 0 is a cycle; later ears attach their endpoints to earlier ears
+    # and contribute only new internal vertices.
+    ends0, verts0 = endpoints_and_pathness(ears[0])
+    assert ends0 == verts0  # a cycle
+    seen = set(verts0)
+    for ear in ears[1:]:
+        ends, verts = endpoints_and_pathness(ear)
+        assert ends <= seen, "ear endpoints must lie on earlier ears"
+        internal = verts - ends
+        assert internal.isdisjoint(seen - ends) or internal <= seen, \
+            "internal vertices may not revisit earlier ears"
+        seen |= verts
+
+
+class TestEarDecomposition:
+    def test_simple_cycle(self):
+        n = 6
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        ears = ear_decomposition(n, edges, 4)
+        assert len(ears) == 1
+        check_ear_axioms(n, [(min(e), max(e)) for e in edges], ears)
+
+    def test_theta_graph(self):
+        # Two vertices joined by three internally disjoint paths.
+        edges = [(0, 1), (1, 2), (0, 3), (2, 3), (0, 4), (2, 4)]
+        ears = ear_decomposition(5, edges, 4)
+        assert len(ears) == 2
+        check_ear_axioms(5, edges, ears)
+
+    def test_complete_graph(self):
+        n = 6
+        edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+        ears = ear_decomposition(n, edges, 4)
+        # m - n + 1 ears for a 2-edge-connected graph.
+        assert len(ears) == len(edges) - n + 1
+        check_ear_axioms(n, edges, ears)
+
+    @pytest.mark.parametrize("n,extra,seed", [(10, 5, 1), (20, 12, 2), (16, 20, 3)])
+    def test_random_2edge_connected(self, n, extra, seed):
+        edges = two_edge_connected_graph(n, extra, seed)
+        ears = ear_decomposition(n, edges, 4)
+        assert len(ears) == len(edges) - n + 1
+        check_ear_axioms(n, edges, ears)
+
+    def test_bridge_rejected(self):
+        # Two triangles joined by a bridge.
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]
+        with pytest.raises(ValueError, match="bridge|2-edge"):
+            ear_decomposition(6, edges, 4)
+
+    def test_tree_rejected(self):
+        edges = workloads.random_tree_edges(8, seed=1)
+        with pytest.raises(ValueError, match="2-edge"):
+            ear_decomposition(8, edges, 4)
+
+    def test_disconnected_rejected(self):
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        with pytest.raises(ValueError, match="disconnected"):
+            ear_decomposition(6, edges, 4)
+
+    def test_through_em_engine(self):
+        n = 12
+        edges = two_edge_connected_graph(n, 6, seed=9)
+        run = lambda alg, vv: simulate(alg, MACHINE, v=vv, seed=3)[0]
+        ears = ear_decomposition(n, edges, 4, run=run)
+        check_ear_axioms(n, edges, ears)

@@ -1,0 +1,116 @@
+"""Unit tests for the simulated disk and disk array (S2)."""
+
+import pytest
+
+from repro.emio.disk import Block, Disk, DiskError
+from repro.emio.diskarray import DiskArray
+
+
+class TestBlock:
+    def test_nrecords_list(self):
+        assert Block(records=[1, 2, 3]).nrecords(8) == 3
+
+    def test_nrecords_bytes_rounds_up(self):
+        assert Block(records=b"x" * 9).nrecords(8) == 2  # 9 bytes -> 2 records
+
+    def test_validate_rejects_overfull(self):
+        with pytest.raises(DiskError):
+            Block(records=list(range(10))).validate(B=4)
+
+    def test_validate_accepts_full(self):
+        Block(records=list(range(4))).validate(B=4)
+
+
+class TestDisk:
+    def test_read_write_roundtrip(self):
+        d = Disk(0, B=4)
+        blk = Block(records=[1, 2])
+        d.write_track(7, blk)
+        assert d.read_track(7) is blk
+        assert d.reads == 1 and d.writes == 1
+
+    def test_unwritten_track_reads_none(self):
+        d = Disk(0, B=4)
+        assert d.read_track(3) is None
+
+    def test_capacity_enforced(self):
+        d = Disk(0, B=4, ntracks=2)
+        d.write_track(1, Block(records=[]))
+        with pytest.raises(DiskError):
+            d.write_track(2, Block(records=[]))
+
+    def test_negative_track_rejected(self):
+        d = Disk(0, B=4)
+        with pytest.raises(DiskError):
+            d.read_track(-1)
+
+    def test_used_tracks_and_high_water(self):
+        d = Disk(0, B=4)
+        d.write_track(0, Block(records=[1]))
+        d.write_track(5, Block(records=[2]))
+        d.write_track(5, None)
+        assert d.used_tracks == 1
+        assert d.high_water == 5
+
+    def test_peek_free_of_charge(self):
+        d = Disk(0, B=4)
+        d.write_track(0, Block(records=[1]))
+        d.reset_stats()
+        assert d.peek(0).records == [1]
+        assert d.accesses == 0
+
+
+class TestDiskArray:
+    def test_parallel_read_counts_one_op(self):
+        da = DiskArray(D=4, B=4)
+        da.parallel_write([(0, 0, Block(records=[1])), (1, 0, Block(records=[2]))])
+        got = da.parallel_read([(0, 0), (1, 0)])
+        assert [b.records for b in got] == [[1], [2]]
+        assert da.parallel_ops == 2  # one write + one read
+
+    def test_same_disk_twice_in_one_op_rejected(self):
+        da = DiskArray(D=4, B=4)
+        with pytest.raises(DiskError):
+            da.parallel_read([(1, 0), (1, 1)])
+
+    def test_too_many_tracks_in_one_op_rejected(self):
+        da = DiskArray(D=2, B=4)
+        with pytest.raises(DiskError):
+            da.parallel_read([(0, 0), (1, 0), (0, 1)])
+
+    def test_empty_op_is_free(self):
+        da = DiskArray(D=2, B=4)
+        assert da.parallel_read([]) == []
+        da.parallel_write([])
+        assert da.parallel_ops == 0
+
+    def test_read_batched_preserves_order(self):
+        da = DiskArray(D=3, B=4)
+        for d in range(3):
+            for t in range(2):
+                da.disks[d].write_track(t, Block(records=[d * 10 + t]))
+        got = da.read_batched([(2, 1), (0, 0), (2, 0), (1, 1)])
+        assert [b.records[0] for b in got] == [21, 0, 20, 11]
+
+    def test_read_batched_packs_distinct_disks_into_one_op(self):
+        da = DiskArray(D=4, B=4)
+        for d in range(4):
+            da.disks[d].write_track(0, Block(records=[d]))
+        da.parallel_ops = 0
+        da.read_batched([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert da.parallel_ops == 1
+
+    def test_read_batched_same_disk_needs_multiple_ops(self):
+        da = DiskArray(D=4, B=4)
+        for t in range(3):
+            da.disks[0].write_track(t, Block(records=[t]))
+        da.parallel_ops = 0
+        da.read_batched([(0, 0), (0, 1), (0, 2)])
+        assert da.parallel_ops == 3
+
+    def test_write_batched_returns_op_count(self):
+        da = DiskArray(D=2, B=4)
+        n = da.write_batched(
+            [(0, 0, Block(records=[])), (1, 0, Block(records=[])), (0, 1, Block(records=[]))]
+        )
+        assert n == 2

@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) for the invariants of DESIGN.md §5."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bsp.message import Message, blocks_to_messages, message_to_blocks
+from repro.bsp.collectives import (
+    owner_of_index,
+    partition_by_splitters,
+    regular_samples,
+    share_bounds,
+)
+from repro.bsp.runner import run_reference
+from repro.core.routing import simulate_routing
+from repro.core.seqsim import SequentialEMSimulation
+from repro.emio.disk import Block
+from repro.emio.diskarray import DiskArray
+from repro.emio.layout import (
+    RegionAllocator,
+    StripedRegion,
+    blocks_to_object,
+    pickle_to_blocks,
+)
+from repro.emio.linked import LinkedBuckets
+from repro.params import BSPParams, MachineParams, SimulationParams
+
+from .helpers import AllToAllExchange, MultiRoundAccumulate
+
+slow = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# -- I2: standard consecutive format for arbitrary slot-size vectors -------------
+
+
+@given(
+    sizes=st.lists(st.integers(0, 9), min_size=0, max_size=20),
+    D=st.integers(1, 8),
+)
+@slow
+def test_striped_region_always_standard_consecutive(sizes, D):
+    array = DiskArray(D, 4)
+    region = StripedRegion(array, RegionAllocator(array), sizes, "prop")
+    region.check_standard_consecutive()
+
+
+@given(
+    sizes=st.lists(st.integers(1, 6), min_size=1, max_size=10),
+    D=st.integers(1, 4),
+    data=st.data(),
+)
+@slow
+def test_striped_region_roundtrip(sizes, D, data):
+    array = DiskArray(D, 4)
+    region = StripedRegion(array, RegionAllocator(array), sizes, "prop")
+    payloads = {}
+    for slot, size in enumerate(sizes):
+        blocks = [Block(records=[slot, i]) for i in range(size)]
+        payloads[slot] = [[slot, i] for i in range(size)]
+        region.write_slot(slot, blocks)
+    order = data.draw(st.permutations(range(len(sizes))))
+    for slot in order:
+        got = [b.records for b in region.read_slot(slot) if b is not None]
+        assert got == payloads[slot]
+
+
+# -- messages: block/packet round trips -------------------------------------------
+
+
+@given(
+    payload=st.lists(st.integers(), max_size=40),
+    B=st.integers(1, 9),
+)
+@slow
+def test_message_block_roundtrip(payload, B):
+    msg = Message(src=3, dest=5, payload=payload)
+    blocks = message_to_blocks(msg, B, msg_id=7)
+    assert all(b.nrecords(B) <= B for b in blocks)
+    back = blocks_to_messages(blocks)
+    assert len(back) == 1
+    assert back[0].payload == payload and back[0].src == 3 and back[0].dest == 5
+
+
+@given(
+    payloads=st.lists(st.lists(st.integers(), max_size=10), min_size=1, max_size=6),
+    B=st.integers(1, 5),
+    data=st.data(),
+)
+@slow
+def test_interleaved_blocks_reassemble(payloads, B, data):
+    blocks = []
+    for i, payload in enumerate(payloads):
+        blocks.extend(
+            message_to_blocks(Message(src=i, dest=0, payload=payload), B, msg_id=i)
+        )
+    shuffled = data.draw(st.permutations(blocks))
+    back = blocks_to_messages(shuffled)
+    assert sorted(m.src for m in back) == list(range(len(payloads)))
+    for m in back:
+        assert m.payload == payloads[m.src]
+
+
+# -- pickle/context round trip ------------------------------------------------------
+
+
+@given(
+    obj=st.recursive(
+        st.none() | st.integers() | st.floats(allow_nan=False) | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=5), children, max_size=4),
+        max_leaves=20,
+    ),
+    B=st.integers(1, 16),
+)
+@slow
+def test_context_pickle_roundtrip(obj, B):
+    assert blocks_to_object(pickle_to_blocks(obj, B)) == obj
+
+
+# -- collectives ----------------------------------------------------------------------
+
+
+@given(n=st.integers(0, 500), v=st.integers(1, 32))
+@slow
+def test_share_bounds_partition(n, v):
+    covered = []
+    for pid in range(v):
+        lo, hi = share_bounds(n, v, pid)
+        assert 0 <= lo <= hi <= n
+        covered.extend(range(lo, hi))
+    assert covered == list(range(n))
+
+
+@given(n=st.integers(1, 500), v=st.integers(1, 32), data=st.data())
+@slow
+def test_owner_of_index_consistent(n, v, data):
+    i = data.draw(st.integers(0, n - 1))
+    owner = owner_of_index(i, n, v)
+    lo, hi = share_bounds(n, v, owner)
+    assert lo <= i < hi
+
+
+@given(
+    items=st.lists(st.integers(-50, 50), max_size=60),
+    splitters=st.lists(st.integers(-50, 50), max_size=8),
+)
+@slow
+def test_partition_by_splitters_preserves_and_orders(items, splitters):
+    items, splitters = sorted(items), sorted(splitters)
+    parts = partition_by_splitters(items, splitters)
+    assert [x for part in parts for x in part] == items
+    for j, part in enumerate(parts):
+        for x in part:
+            if j > 0:
+                assert x >= splitters[j - 1]
+            if j < len(splitters):
+                assert x < splitters[j]
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=60), c=st.integers(0, 12))
+@slow
+def test_regular_samples_sorted_subset(items, c):
+    items = sorted(items)
+    samples = regular_samples(items, c)
+    assert samples == sorted(samples)
+    assert len(samples) <= max(c, 0)
+    for s in samples:
+        assert s in items or not items
+
+
+# -- I6/I7: bucket store and reorganization, arbitrary traffic ----------------------
+
+
+@given(
+    dests=st.lists(st.integers(0, 15), max_size=120),
+    D=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+@slow
+def test_routing_conserves_blocks(dests, D, seed):
+    v = 16
+    array = DiskArray(D, 4)
+    alloc = RegionAllocator(array)
+    store = LinkedBuckets(
+        array, alloc, D, lambda d: d * D // v, random.Random(seed)
+    )
+    blocks = [Block(records=[i], dest=d, src=0, msg=i) for i, d in enumerate(dests)]
+    store.append_blocks(blocks)
+    region, stats = simulate_routing(array, alloc, store, v, lambda d: d)
+    assert stats.total_blocks == len(dests)
+    delivered = []
+    for slot in range(v):
+        for b in region.read_slot(slot):
+            if b is not None:
+                assert b.dest == slot
+                delivered.append(b.records[0])
+    assert sorted(delivered) == sorted(range(len(dests)))
+
+
+# -- I3: transparency under random machine parameters --------------------------------
+
+
+@given(
+    D=st.integers(1, 5),
+    B=st.sampled_from([4, 16, 64]),
+    k=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_seqsim_transparency_random_params(D, B, k, seed):
+    v = 8
+    alg = MultiRoundAccumulate(rounds=3)
+    ref, _ = run_reference(MultiRoundAccumulate(rounds=3), v)
+    params = SimulationParams(
+        machine=MachineParams(p=1, M=max(alg.context_size() * k, D * B), D=D, B=B, b=B),
+        bsp=BSPParams(v=v, mu=alg.context_size(), gamma=alg.comm_bound()),
+        k=k,
+    )
+    out, _ = SequentialEMSimulation(
+        MultiRoundAccumulate(rounds=3), params, seed=seed
+    ).run()
+    assert out == ref
+
+
+# -- I8: ledger consistency ------------------------------------------------------------
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_ledger_total_is_sum_of_components(seed):
+    v = 8
+    alg = AllToAllExchange()
+    params = SimulationParams(
+        machine=MachineParams(p=1, M=alg.context_size() * 2, D=2, B=16, b=16),
+        bsp=BSPParams(v=v, mu=alg.context_size(), gamma=alg.comm_bound()),
+        k=2,
+    )
+    _, report = SequentialEMSimulation(AllToAllExchange(), params, seed=seed).run()
+    led = report.ledger
+    m = led.machine
+    total = sum(
+        s.comp_ops + s.comm_time(m) + s.io_time(m) + m.L * s.syncs
+        for s in led.supersteps
+    )
+    assert led.total_time() == total
+    assert led.total_io_ops == report.io_ops

@@ -1,0 +1,141 @@
+"""Extended property-based tests for the newer components."""
+
+import bisect
+import random as stdrandom
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.geometry.genenvelope import envelope_of_segments
+from repro.algorithms.geometry.segtree import SegmentTree
+from repro.algorithms.geometry.triangulate import delaunay_triangulation
+from repro.algorithms.multisearch import CGMMultisearch
+from repro.algorithms.prefix import CGMPrefixSums
+from repro.bsp.runner import run_reference
+from repro.core.parsim import ParallelEMSimulation
+from repro.core.simulator import build_params
+from repro.params import MachineParams
+
+from .helpers import MultiRoundAccumulate
+
+slow = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(
+    ivs=st.lists(
+        st.tuples(
+            st.floats(0, 1000, allow_nan=False),
+            st.floats(0, 500, allow_nan=False),
+        ).map(lambda t: (t[0], t[0] + t[1])),
+        min_size=0,
+        max_size=30,
+    ),
+    xs=st.lists(st.floats(-100, 1600, allow_nan=False), min_size=1, max_size=20),
+)
+@slow
+def test_segment_tree_matches_bruteforce(ivs, xs):
+    tree = SegmentTree([a for a, _b in ivs] + [b for _a, b in ivs])
+    for i, (a, b) in enumerate(ivs):
+        tree.insert(a, b, i)
+    for x in xs:
+        want = sorted(i for i, (a, b) in enumerate(ivs) if a <= x <= b)
+        assert tree.stab(x) == want
+
+
+@given(
+    segs=st.lists(
+        st.tuples(
+            st.floats(0, 90, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(1, 60, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+        ).map(lambda t: (t[0], t[1], t[0] + t[2], t[3])),
+        min_size=1,
+        max_size=15,
+    ),
+    data=st.data(),
+)
+@slow
+def test_general_envelope_pointwise_minimum(segs, data):
+    pieces = envelope_of_segments(list(enumerate(segs)), segs)
+
+    def y_at(seg, x):
+        x1, y1, x2, y2 = seg
+        return y1 + (y2 - y1) * (x - x1) / (x2 - x1)
+
+    for xa, xb, sid in pieces:
+        if xb - xa < 5e-9:
+            continue
+        x = data.draw(st.floats(xa + 1e-9, xb - 1e-9), label="sample x")
+        active = [y_at(s, x) for s in segs if s[0] <= x <= s[2]]
+        assert active
+        assert y_at(segs[sid], x) <= min(active) + 1e-6
+
+
+@given(
+    keys=st.lists(st.integers(0, 10_000), min_size=1, max_size=60).map(sorted),
+    queries=st.lists(st.integers(-100, 11_000), min_size=1, max_size=20),
+)
+@slow
+def test_multisearch_predecessors(keys, queries):
+    v = 4
+    out, _ = run_reference(CGMMultisearch(keys, queries, v), v)
+    got = {}
+    for part in out:
+        got.update(dict(part))
+    for qi, q in enumerate(queries):
+        assert got[qi] == bisect.bisect_right(keys, q) - 1
+
+
+@given(vals=st.lists(st.integers(-1000, 1000), max_size=80))
+@slow
+def test_prefix_sums_property(vals):
+    v = 4
+    out, _ = run_reference(CGMPrefixSums(vals, v), v)
+    flat = [x for part in out for x in part]
+    acc, want = 0, []
+    for x in vals:
+        acc += x
+        want.append(acc)
+    assert flat == want
+
+
+@given(
+    p=st.sampled_from([1, 2, 4]),
+    D=st.integers(1, 3),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=12, deadline=None)
+def test_parsim_transparency_random_params(p, D, seed):
+    v = 8
+    alg = MultiRoundAccumulate(rounds=2)
+    ref, _ = run_reference(MultiRoundAccumulate(rounds=2), v)
+    machine = MachineParams(p=p, M=2 * alg.context_size(), D=D, B=16, b=16)
+    params = build_params(MultiRoundAccumulate(rounds=2), machine, v=v, k=2)
+    out, _ = ParallelEMSimulation(
+        MultiRoundAccumulate(rounds=2), params, seed=seed
+    ).run()
+    assert out == ref
+
+
+@given(seed=st.integers(0, 300), n=st.integers(4, 30))
+@settings(max_examples=15, deadline=None)
+def test_delaunay_circumcircles_empty(seed, n):
+    rng = stdrandom.Random(seed)
+    pts = list({(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)})
+    if len(pts) < 3:
+        return
+    try:
+        tris = delaunay_triangulation(pts)
+    except ValueError:
+        return  # degenerate draw
+    from repro.algorithms.geometry.triangulate import circumcircle
+
+    for a, b, c in tris:
+        ux, uy, r2 = circumcircle(pts[a], pts[b], pts[c])
+        for i, q in enumerate(pts):
+            if i in (a, b, c):
+                continue
+            assert (q[0] - ux) ** 2 + (q[1] - uy) ** 2 >= r2 * (1 - 1e-7)
