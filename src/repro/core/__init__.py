@@ -1,11 +1,12 @@
 """The paper's simulation technique: Algorithms 1–3 and their reports."""
 
+from .checkpoint import SimulationAborted, SuperstepCheckpoint
 from .context import ContextStore
 from .parsim import ParallelEMSimulation
 from .routing import RoutingStats, simulate_routing
 from .seqsim import SequentialEMSimulation
 from .simulator import build_params, simulate
-from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+from .stats import FaultReport, PhaseBreakdown, SimulationReport, SuperstepReport
 
 __all__ = [
     "ContextStore",
@@ -18,4 +19,7 @@ __all__ = [
     "SimulationReport",
     "SuperstepReport",
     "PhaseBreakdown",
+    "FaultReport",
+    "SuperstepCheckpoint",
+    "SimulationAborted",
 ]

@@ -1,0 +1,97 @@
+"""Superstep-granular checkpointing for the simulation engines.
+
+The compound-superstep barrier is the natural recovery point of the
+simulation: between two compound supersteps the *entire* live state of the
+virtual machine is (a) the virtual-processor contexts in their standard
+consecutive region, (b) the incoming-message region produced by Algorithm 2,
+(c) the engine's RNG state, and (d) the cost ledger.  Nothing else persists
+across the barrier — the bucket stores are freed by the reorganization step.
+A checkpoint is therefore a faithful snapshot of exactly those four things,
+taken right after Step 2 completes, and restoring it re-enters the run at
+the barrier as if the following superstep had never started.
+
+Checkpoints live on the host side (outside the simulated disk array), the
+way a production system would write them to a separate durable service.
+*Reading* the state off the simulated disks is charged as real parallel I/O
+(reported as ``checkpoint_io_ops``); the write to the checkpoint medium is
+outside the machine model and free.
+
+:class:`SuperstepCheckpoint` is engine-agnostic: the sequential engine uses
+one entry per list, the parallel engine one entry per real processor.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SuperstepCheckpoint", "SimulationAborted", "freeze", "thaw"]
+
+
+def freeze(obj: Any) -> bytes:
+    """Pickle ``obj`` for checkpoint storage (deep-copies by construction)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def thaw(blob: bytes) -> Any:
+    """Inverse of :func:`freeze`."""
+    return pickle.loads(blob)
+
+
+@dataclass
+class SuperstepCheckpoint:
+    """Snapshot of one engine's state at a compound-superstep barrier.
+
+    Attributes
+    ----------
+    step:
+        Index of the next superstep to execute after restoring.
+    rng_state:
+        ``random.Random.getstate()`` of the engine's RNG, so restored runs
+        redraw exactly the permutations and scatter targets they would have.
+    proc_states:
+        Per real processor: pickled list of that processor's context states
+        (local slot order).
+    proc_incoming:
+        Per real processor: pickled ``(slot_sizes, blocks_per_slot)`` of the
+        incoming-message region, or ``None`` before the first superstep.
+    report_blob:
+        Pickled ``(SimulationReport, CostLedger)`` pair as of the barrier,
+        so a resumed run keeps the completed supersteps' accounting.
+    dead_disks:
+        Per real processor: disk ids already dead at the barrier (purely
+        diagnostic; restoring onto a degraded array works regardless).
+    """
+
+    step: int
+    rng_state: Any
+    proc_states: list[bytes]
+    proc_incoming: list[bytes | None]
+    report_blob: bytes
+    dead_disks: list[set[int]] = field(default_factory=list)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.proc_states)
+
+    def size_bytes(self) -> int:
+        """Approximate checkpoint footprint (for reporting/benchmarks)."""
+        return (
+            sum(len(b) for b in self.proc_states)
+            + sum(len(b) for b in self.proc_incoming if b is not None)
+            + len(self.report_blob)
+        )
+
+
+class SimulationAborted(RuntimeError):
+    """The run hit an unrecoverable fault (or its recovery budget).
+
+    Carries the last good :class:`SuperstepCheckpoint` (if any), so the
+    caller can hand it to ``resume_from_checkpoint()`` on a fresh engine —
+    the "mid-run kill" path.
+    """
+
+    def __init__(self, message: str, checkpoint: SuperstepCheckpoint | None = None):
+        super().__init__(message)
+        self.checkpoint = checkpoint

@@ -106,3 +106,33 @@ class ContextStore:
             out.append(blocks_to_object(flat[pos : pos + c]))
             pos += c
         return out
+
+    # -- checkpoint support (see repro.core.checkpoint) ------------------------
+
+    @property
+    def nslots(self) -> int:
+        return len(self._used)
+
+    def export_all(self, group_size: int | None = None) -> list[Any]:
+        """Read every context, ``group_size`` at a time (memory-bounded).
+
+        The engines pass their group size ``k`` so a checkpoint never holds
+        more than one group of contexts in memory at once — the same
+        discipline as the simulation itself.
+        """
+        g = group_size or self.nslots
+        out: list[Any] = []
+        for base in range(0, self.nslots, g):
+            out.extend(self.load_group(range(base, min(base + g, self.nslots))))
+        return out
+
+    def import_all(self, states: Sequence[Any], group_size: int | None = None) -> None:
+        """Rewrite every context from ``states`` (restore path)."""
+        if len(states) != self.nslots:
+            raise DiskError(
+                f"restore of {len(states)} contexts into {self.nslots} slots"
+            )
+        g = group_size or self.nslots
+        for base in range(0, self.nslots, g):
+            hi = min(base + g, self.nslots)
+            self.save_group(range(base, hi), states[base:hi])

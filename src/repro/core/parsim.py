@@ -31,6 +31,14 @@ deterministic order within each phase) but all costs are accounted as the
 model prescribes: per phase the *maximum* over processors of computation,
 packets, and parallel I/O operations, plus the barrier cost ``L`` per
 h-relation.
+
+Robustness: the same ``faults``/``retry``/``checkpoint`` knobs as the
+sequential engine (see :mod:`repro.core.seqsim` and
+:mod:`repro.core.checkpoint`), with per-processor fault streams — a
+``FaultPlan``'s ``dead_proc`` selects which real processor's drive dies.  A
+fatal fault on *any* processor rolls every processor back to the last
+compound-superstep barrier, because the barrier is the only globally
+consistent cut of the distributed state.
 """
 
 from __future__ import annotations
@@ -48,12 +56,14 @@ from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
 from ..costs import CostLedger, packets_for
 from ..emio.disk import Block
 from ..emio.diskarray import DiskArray
+from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
-from ..params import SimulationParams
+from ..params import ParameterError, SimulationParams
+from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
 from .context import ContextStore
 from .routing import RoutingStats, simulate_routing
-from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+from .stats import FaultReport, PhaseBreakdown, SimulationReport, SuperstepReport
 
 __all__ = ["ParallelEMSimulation"]
 
@@ -65,7 +75,9 @@ class _RealProcessor:
         self.index = index
         self.sim = sim
         m = sim.params.machine
-        self.array = DiskArray(m.D, m.B)
+        self.array = DiskArray(
+            m.D, m.B, faults=sim.faults, retry=sim.retry, proc=index
+        )
         self.allocator = RegionAllocator(self.array)
         self.contexts = ContextStore(
             self.array,
@@ -83,6 +95,10 @@ class _RealProcessor:
         d = self.array.parallel_ops - self.io_marker
         self.io_marker = self.array.parallel_ops
         return d
+
+    def stall_total(self) -> int:
+        inj = self.array.injector
+        return self.array.stall_ops + (inj.stats.stall_ops if inj else 0)
 
     def new_buckets(self) -> None:
         sim = self.sim
@@ -102,6 +118,9 @@ class ParallelEMSimulation:
     With ``p=1`` this degenerates to a close cousin of
     :class:`~repro.core.seqsim.SequentialEMSimulation` (messages still pass
     through the packet-scatter path, but there is only one bin to scatter to).
+
+    ``faults``, ``retry``, ``checkpoint``, ``max_recoveries`` mirror the
+    sequential engine; see :class:`SequentialEMSimulation` for semantics.
     """
 
     def __init__(
@@ -112,6 +131,10 @@ class ParallelEMSimulation:
         enforce_gamma: bool = True,
         round_robin_writes: bool = False,
         write_schedule: str | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: bool = False,
+        max_recoveries: int = 8,
     ):
         self.algorithm = algorithm
         self.params = params
@@ -120,6 +143,10 @@ class ParallelEMSimulation:
         self.write_schedule = write_schedule or (
             "rotate" if round_robin_writes else "random"
         )
+        self.faults = faults
+        self.retry = retry
+        self.checkpoint_enabled = checkpoint
+        self.max_recoveries = max_recoveries
 
         m, s = params.machine, params.bsp
         self.p = m.p
@@ -130,6 +157,14 @@ class ParallelEMSimulation:
         self.ledger = CostLedger(m)
         self.report = SimulationReport(params=params, ledger=self.ledger)
         self.procs = [_RealProcessor(i, self) for i in range(self.p)]
+        self.gamma = algorithm.comm_bound() if enforce_gamma else None
+
+        self.last_checkpoint: SuperstepCheckpoint | None = None
+        self._recoveries = 0
+        self._checkpoints_taken = 0
+        self._checkpoint_io_ops = 0
+        self._recovery_io_ops = 0
+        self._resumed_from: int | None = None
 
     # -- placement maps -----------------------------------------------------------
 
@@ -158,11 +193,31 @@ class ParallelEMSimulation:
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
-        alg = self.algorithm
-        m = self.params.machine
-        gamma = alg.comm_bound() if self.enforce_gamma else None
+        self._load_input()
+        if self.checkpoint_enabled:
+            self._guarded_checkpoint(0)
+        self._run_from(0)
+        return self._finish()
 
-        # ---- load input ----
+    def resume_from_checkpoint(
+        self, ckpt: SuperstepCheckpoint
+    ) -> tuple[list[Any], SimulationReport]:
+        """Continue an aborted run from a checkpoint (see the sequential
+        engine's method of the same name)."""
+        if ckpt.nprocs != self.p:
+            raise ParameterError(
+                f"checkpoint holds {ckpt.nprocs} processors, machine has {self.p}"
+            )
+        self._resumed_from = ckpt.step
+        self.last_checkpoint = ckpt
+        self._restore(ckpt)
+        self._run_from(ckpt.step)
+        return self._finish()
+
+    # -- run skeleton ---------------------------------------------------------------
+
+    def _load_input(self) -> None:
+        alg = self.algorithm
         for pr in self.procs:
             for j in range(self.nbatches):
                 vps = self.round_vps(pr.index, j)
@@ -171,159 +226,257 @@ class ParallelEMSimulation:
                 pr.contexts.save_group(local, states)
         self.report.init_io_ops = max(pr.io_delta() for pr in self.procs)
 
-        for step in range(alg.MAX_SUPERSTEPS):
-            cost = self.ledger.begin_superstep(label=f"superstep {step}")
-            cost.syncs = 0
-            phases = PhaseBreakdown()
-            for pr in self.procs:
-                pr.new_buckets()
-            all_halted = True
-            blocks_generated = 0
-
-            for j in range(self.nbatches):
-                # ---- Fetching phase: local reads + gather h-relation ----
-                # inbound[q] = blocks for processor q's current k vps.
-                inbound: list[list[Block]] = [[] for _ in range(self.p)]
-                sent_pk = [0] * self.p
-                recv_pk = [0] * self.p
-                for pr in self.procs:
-                    if pr.incoming is not None:
-                        blks = [
-                            blk
-                            for blk in pr.incoming.read_slot(j)
-                            if blk is not None and not blk.dummy
-                        ]
-                    else:
-                        blks = []
-                    # Combine blocks per destination processor into packets
-                    # of size b for the gather h-relation.
-                    by_dest: dict[int, list[Block]] = {}
-                    for blk in blks:
-                        by_dest.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
-                    for q, qblocks in sorted(by_dest.items()):
-                        nrec = sum(b.nrecords(m.B) for b in qblocks)
-                        npk = max(1, packets_for(nrec, m.b))
-                        if q != pr.index:
-                            sent_pk[pr.index] += npk
-                            recv_pk[q] += npk
-                        inbound[q].extend(qblocks)
-                    phases.fetch_messages += 0  # accounted below via io_delta
-                io_this = max(pr.io_delta() for pr in self.procs)
-                phases.fetch_messages += io_this
-                cost.comm_packets += max(
-                    sent_pk[q] + recv_pk[q] for q in range(self.p)
+    def _run_from(self, start: int) -> None:
+        step = start
+        while True:
+            if step >= self.algorithm.MAX_SUPERSTEPS:
+                raise AlgorithmError(
+                    "algorithm did not halt within "
+                    f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
-                cost.syncs += 1
+            try:
+                finished = self._superstep(step)
+                if not finished and self.checkpoint_enabled:
+                    self._take_checkpoint(step + 1)
+            except FATAL_IO_FAULTS as exc:
+                step = self._handle_fault(exc)
+                continue
+            if finished:
+                return
+            step += 1
 
-                # ---- contexts (local) ----
-                round_states: list[list[Any]] = []
-                for pr in self.procs:
-                    local = [
-                        vp - pr.index * self.vpp
-                        for vp in self.round_vps(pr.index, j)
-                    ]
-                    round_states.append(pr.contexts.load_group(local))
-                phases.fetch_context += max(pr.io_delta() for pr in self.procs)
+    def _guarded_checkpoint(self, step: int) -> None:
+        try:
+            self._take_checkpoint(step)
+        except FATAL_IO_FAULTS as exc:
+            raise SimulationAborted(
+                f"fatal I/O fault before the first checkpoint: {exc}", None
+            ) from exc
 
-                # ---- Computing phase ----
-                round_comp = [0.0] * self.p
-                # outpackets[q] = packets randomly scattered to processor q.
-                outpackets: list[list[Packet]] = [[] for _ in range(self.p)]
-                scatter_sent = [0] * self.p
-                scatter_recv = [0] * self.p
-                for pr in self.procs:
-                    vps = self.round_vps(pr.index, j)
-                    per_vp_blocks: dict[int, list[Block]] = {vp: [] for vp in vps}
-                    for blk in inbound[pr.index]:
-                        per_vp_blocks[blk.dest].append(blk)
-                    new_states = []
-                    for vp, state in zip(vps, round_states[pr.index]):
-                        msgs = blocks_to_messages(per_vp_blocks[vp])
-                        if gamma is not None:
-                            nrecv = sum(msg.size for msg in msgs)
-                            if nrecv > gamma:
-                                raise AlgorithmError(
-                                    f"vp {vp} received {nrecv} records in "
-                                    f"superstep {step}, exceeding gamma={gamma}"
-                                )
-                        ctx = VPContext(
-                            vp, self.v, step, state, msgs, comm_bound=gamma
-                        )
-                        alg.superstep(ctx)
-                        new_states.append(ctx.state)
-                        if not ctx.halted:
-                            all_halted = False
-                        round_comp[pr.index] += ctx.comp_ops
-                        cost.records_sent += ctx.sent_records
-                        for mi, msg in enumerate(ctx.outbox):
-                            for pkt in message_to_packets(msg, m.b, mi):
-                                target = self.rng.randrange(self.p)
-                                scatter_sent[pr.index] += 1
-                                scatter_recv[target] += 1
-                                outpackets[target].append(pkt)
-                    local = [vp - pr.index * self.vpp for vp in vps]
-                    pr.contexts.save_group(local, new_states)
-                phases.write_context += max(pr.io_delta() for pr in self.procs)
-                cost.comp_ops += max(round_comp)
+    def _handle_fault(self, exc: Exception) -> int:
+        self._recoveries += 1
+        if self.last_checkpoint is None:
+            raise SimulationAborted(
+                f"fatal I/O fault with no checkpoint to recover from "
+                f"(run with checkpoint=True): {exc}",
+                None,
+            ) from exc
+        if self._recoveries > self.max_recoveries:
+            raise SimulationAborted(
+                f"fatal I/O fault after exhausting max_recoveries="
+                f"{self.max_recoveries}: {exc}",
+                self.last_checkpoint,
+            ) from exc
+        self._restore(self.last_checkpoint)
+        return self.last_checkpoint.step
 
-                # ---- Writing phase: scatter h-relation + bucket writes ----
-                cost.comm_packets += max(
-                    scatter_sent[q] + scatter_recv[q] for q in range(self.p)
-                )
-                cost.syncs += 1
-                for pr in self.procs:
-                    rblocks: list[Block] = []
-                    for pkt in outpackets[pr.index]:
-                        rblocks.extend(packet_to_blocks(pkt, m.B))
-                    blocks_generated += len(rblocks)
-                    pr.buckets.append_blocks(rblocks)
-                phases.write_messages += max(pr.io_delta() for pr in self.procs)
+    # -- checkpoint/restore ----------------------------------------------------------
 
-            # ---- Step 2: local reorganization on every processor ----
-            worst_routing: RoutingStats | None = None
-            for pr in self.procs:
-                new_incoming, routing = simulate_routing(
-                    pr.array,
-                    pr.allocator,
-                    pr.buckets,
-                    nslots=self.nbatches,
-                    slot_of=self.batch_of_vp,
-                    name=f"incoming@p{pr.index}s{step + 1}",
-                )
+    def _take_checkpoint(self, step: int) -> None:
+        """Snapshot every processor's barrier state (charged as local reads;
+        the model cost is the maximum over processors, like any phase)."""
+        proc_states: list[bytes] = []
+        proc_incoming: list[bytes | None] = []
+        for pr in self.procs:
+            proc_states.append(freeze(pr.contexts.export_all(group_size=self.k)))
+            if pr.incoming is not None:
+                blocks = pr.incoming.read_slots(range(pr.incoming.nslots))
+                proc_incoming.append(freeze((pr.incoming.slot_sizes, blocks)))
+            else:
+                proc_incoming.append(None)
+        self.last_checkpoint = SuperstepCheckpoint(
+            step=step,
+            rng_state=self.rng.getstate(),
+            proc_states=proc_states,
+            proc_incoming=proc_incoming,
+            report_blob=freeze((self.report, self.ledger)),
+            dead_disks=[set(pr.array.dead_disks) for pr in self.procs],
+        )
+        self._checkpoints_taken += 1
+        self._checkpoint_io_ops += max(pr.io_delta() for pr in self.procs)
+
+    def _restore(self, ckpt: SuperstepCheckpoint) -> None:
+        self.report, self.ledger = thaw(ckpt.report_blob)
+        self.rng.setstate(ckpt.rng_state)
+        for pr in self.procs:
+            if pr.buckets is not None:
                 pr.buckets.free()
                 pr.buckets = None
+            if pr.incoming is not None:
+                pr.incoming.free()
+                pr.incoming = None
+            pr.contexts.import_all(thaw(ckpt.proc_states[pr.index]), group_size=self.k)
+            blob = ckpt.proc_incoming[pr.index]
+            if blob is not None:
+                slot_sizes, blocks = thaw(blob)
+                region = StripedRegion(
+                    pr.array, pr.allocator, slot_sizes,
+                    name=f"incoming@p{pr.index}resume{ckpt.step}",
+                )
+                region.write_slots(range(region.nslots), blocks)
+                pr.incoming = region
+        self._recovery_io_ops += max(pr.io_delta() for pr in self.procs)
+
+    # -- one compound superstep --------------------------------------------------------
+
+    def _superstep(self, step: int) -> bool:
+        alg = self.algorithm
+        m = self.params.machine
+        gamma = self.gamma
+
+        cost = self.ledger.begin_superstep(label=f"superstep {step}")
+        cost.syncs = 0
+        phases = PhaseBreakdown()
+        retry0 = [pr.array.retry_ops for pr in self.procs]
+        stall0 = [pr.stall_total() for pr in self.procs]
+        for pr in self.procs:
+            pr.new_buckets()
+        all_halted = True
+        blocks_generated = 0
+
+        for j in range(self.nbatches):
+            # ---- Fetching phase: local reads + gather h-relation ----
+            # inbound[q] = blocks for processor q's current k vps.
+            inbound: list[list[Block]] = [[] for _ in range(self.p)]
+            sent_pk = [0] * self.p
+            recv_pk = [0] * self.p
+            for pr in self.procs:
                 if pr.incoming is not None:
-                    pr.incoming.free()
-                pr.incoming = new_incoming
-                if (
-                    worst_routing is None
-                    or routing.max_load_ratio > worst_routing.max_load_ratio
-                ):
-                    worst_routing = routing
-            phases.reorganize += max(pr.io_delta() for pr in self.procs)
+                    blks = [
+                        blk
+                        for blk in pr.incoming.read_slot(j)
+                        if blk is not None and not blk.dummy
+                    ]
+                else:
+                    blks = []
+                # Combine blocks per destination processor into packets
+                # of size b for the gather h-relation.
+                by_dest: dict[int, list[Block]] = {}
+                for blk in blks:
+                    by_dest.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
+                for q, qblocks in sorted(by_dest.items()):
+                    nrec = sum(b.nrecords() for b in qblocks)
+                    npk = max(1, packets_for(nrec, m.b))
+                    if q != pr.index:
+                        sent_pk[pr.index] += npk
+                        recv_pk[q] += npk
+                    inbound[q].extend(qblocks)
+            io_this = max(pr.io_delta() for pr in self.procs)
+            phases.fetch_messages += io_this
+            cost.comm_packets += max(sent_pk[q] + recv_pk[q] for q in range(self.p))
             cost.syncs += 1
 
-            cost.io_ops = phases.total
-            cost.records_io = phases.total * m.D * m.B
-            self.report.supersteps.append(
-                SuperstepReport(
-                    index=step,
-                    phases=phases,
-                    routing=worst_routing,
-                    comm_packets=cost.comm_packets,
-                    message_blocks=blocks_generated,
-                    halted=all_halted,
-                )
-            )
+            # ---- contexts (local) ----
+            round_states: list[list[Any]] = []
+            for pr in self.procs:
+                local = [
+                    vp - pr.index * self.vpp for vp in self.round_vps(pr.index, j)
+                ]
+                round_states.append(pr.contexts.load_group(local))
+            phases.fetch_context += max(pr.io_delta() for pr in self.procs)
 
-            if all_halted and blocks_generated == 0:
-                break
-        else:
-            raise AlgorithmError(
-                f"algorithm did not halt within MAX_SUPERSTEPS={alg.MAX_SUPERSTEPS}"
-            )
+            # ---- Computing phase ----
+            round_comp = [0.0] * self.p
+            # outpackets[q] = packets randomly scattered to processor q.
+            outpackets: list[list[Packet]] = [[] for _ in range(self.p)]
+            scatter_sent = [0] * self.p
+            scatter_recv = [0] * self.p
+            for pr in self.procs:
+                vps = self.round_vps(pr.index, j)
+                per_vp_blocks: dict[int, list[Block]] = {vp: [] for vp in vps}
+                for blk in inbound[pr.index]:
+                    per_vp_blocks[blk.dest].append(blk)
+                new_states = []
+                for vp, state in zip(vps, round_states[pr.index]):
+                    msgs = blocks_to_messages(per_vp_blocks[vp])
+                    if gamma is not None:
+                        nrecv = sum(msg.size for msg in msgs)
+                        if nrecv > gamma:
+                            raise AlgorithmError(
+                                f"vp {vp} received {nrecv} records in "
+                                f"superstep {step}, exceeding gamma={gamma}"
+                            )
+                    ctx = VPContext(vp, self.v, step, state, msgs, comm_bound=gamma)
+                    alg.superstep(ctx)
+                    new_states.append(ctx.state)
+                    if not ctx.halted:
+                        all_halted = False
+                    round_comp[pr.index] += ctx.comp_ops
+                    cost.records_sent += ctx.sent_records
+                    for mi, msg in enumerate(ctx.outbox):
+                        for pkt in message_to_packets(msg, m.b, mi):
+                            target = self.rng.randrange(self.p)
+                            scatter_sent[pr.index] += 1
+                            scatter_recv[target] += 1
+                            outpackets[target].append(pkt)
+                local = [vp - pr.index * self.vpp for vp in vps]
+                pr.contexts.save_group(local, new_states)
+            phases.write_context += max(pr.io_delta() for pr in self.procs)
+            cost.comp_ops += max(round_comp)
 
+            # ---- Writing phase: scatter h-relation + bucket writes ----
+            cost.comm_packets += max(
+                scatter_sent[q] + scatter_recv[q] for q in range(self.p)
+            )
+            cost.syncs += 1
+            for pr in self.procs:
+                rblocks: list[Block] = []
+                for pkt in outpackets[pr.index]:
+                    rblocks.extend(packet_to_blocks(pkt, m.B))
+                blocks_generated += len(rblocks)
+                pr.buckets.append_blocks(rblocks)
+            phases.write_messages += max(pr.io_delta() for pr in self.procs)
+
+        # ---- Step 2: local reorganization on every processor ----
+        worst_routing: RoutingStats | None = None
+        for pr in self.procs:
+            new_incoming, routing = simulate_routing(
+                pr.array,
+                pr.allocator,
+                pr.buckets,
+                nslots=self.nbatches,
+                slot_of=self.batch_of_vp,
+                name=f"incoming@p{pr.index}s{step + 1}",
+            )
+            pr.buckets.free()
+            pr.buckets = None
+            if pr.incoming is not None:
+                pr.incoming.free()
+            pr.incoming = new_incoming
+            if (
+                worst_routing is None
+                or routing.max_load_ratio > worst_routing.max_load_ratio
+            ):
+                worst_routing = routing
+        phases.reorganize += max(pr.io_delta() for pr in self.procs)
+        cost.syncs += 1
+
+        cost.io_ops = phases.total
+        cost.records_io = phases.total * m.D * m.B
+        cost.retry_ops = max(
+            pr.array.retry_ops - r0 for pr, r0 in zip(self.procs, retry0)
+        )
+        cost.stall_ops = max(
+            pr.stall_total() - s0 for pr, s0 in zip(self.procs, stall0)
+        )
+        self.report.supersteps.append(
+            SuperstepReport(
+                index=step,
+                phases=phases,
+                routing=worst_routing,
+                comm_packets=cost.comm_packets,
+                message_blocks=blocks_generated,
+                halted=all_halted,
+            )
+        )
+        return all_halted and blocks_generated == 0
+
+    # -- wrap-up ---------------------------------------------------------------------
+
+    def _finish(self) -> tuple[list[Any], SimulationReport]:
+        alg = self.algorithm
         self.ledger.close()
+        self.report.ledger = self.ledger
 
         # ---- unload output ----
         outputs: list[Any] = [None] * self.v
@@ -337,4 +490,36 @@ class ParallelEMSimulation:
         self.report.disk_space_tracks = max(
             pr.allocator.high_water for pr in self.procs
         )
+        self._attach_fault_report()
         return outputs, self.report
+
+    def _attach_fault_report(self) -> None:
+        if (
+            self.faults is None
+            and not self.checkpoint_enabled
+            and self._resumed_from is None
+        ):
+            return
+        fr = FaultReport(
+            retry_reads=sum(pr.array.retry_reads for pr in self.procs),
+            retry_writes=sum(pr.array.retry_writes for pr in self.procs),
+            stall_ops=sum(pr.stall_total() for pr in self.procs),
+            degraded_writes=sum(pr.array.degraded_writes for pr in self.procs),
+            recoveries=self._recoveries,
+            checkpoints_taken=self._checkpoints_taken,
+            checkpoint_io_ops=self._checkpoint_io_ops,
+            recovery_io_ops=self._recovery_io_ops,
+            resumed_from_step=self._resumed_from,
+        )
+        for pr in self.procs:
+            inj = pr.array.injector
+            if inj is None:
+                continue
+            s = inj.stats
+            fr.transient_read_errors += s.transient_read_errors
+            fr.transient_write_errors += s.transient_write_errors
+            fr.corruptions_injected += s.corruptions_injected
+            fr.checksum_errors += s.checksum_errors
+            fr.latency_spikes += s.latency_spikes
+            fr.disks_died += s.disks_died
+        self.report.faults = fr

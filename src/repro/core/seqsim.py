@@ -19,6 +19,20 @@ The execution is *transparent*: outputs are identical to the in-memory
 reference runner for every algorithm and every valid parameter choice
 (invariant I3), while every byte travels through the simulated disks under
 the blocking and parallelism discipline of the EM-BSP model.
+
+Robustness (``faults``/``retry``/``checkpoint`` knobs): the disk substrate
+can inject transient errors, corruption, latency spikes, and permanent disk
+death (:mod:`repro.emio.faults`).  Transient faults are masked inside
+:class:`~repro.emio.diskarray.DiskArray` by bounded retries; fatal faults
+(lost data, a died drive mid-access, an exhausted retry budget) surface as
+exceptions and are handled here by restoring the last compound-superstep
+checkpoint and re-running only the failed superstep — the barrier is a
+natural recovery line because nothing survives it except the contexts, the
+incoming region, the RNG state, and the ledger
+(:mod:`repro.core.checkpoint`).  Because message reassembly sorts blocks by
+(source, message, sequence) and the computation is deterministic, neither
+degraded-mode block placement nor a superstep re-run can change the
+simulated algorithm's outputs.
 """
 
 from __future__ import annotations
@@ -31,12 +45,14 @@ from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
 from ..costs import CostLedger, packets_for
 from ..emio.disk import Block
 from ..emio.diskarray import DiskArray
+from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..params import ParameterError, SimulationParams
+from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
 from .context import ContextStore
 from .routing import simulate_routing
-from .stats import PhaseBreakdown, SimulationReport, SuperstepReport
+from .stats import FaultReport, PhaseBreakdown, SimulationReport, SuperstepReport
 
 __all__ = ["SequentialEMSimulation"]
 
@@ -68,6 +84,20 @@ class SequentialEMSimulation:
         Explicit disk-write schedule ("random", "rotate", "static",
         "balance"); overrides ``round_robin_writes``.  "balance" is the
         paper's deterministic variant for predetermined (CGM) traffic.
+    faults:
+        A :class:`~repro.emio.faults.FaultPlan` to inject disk faults, or
+        None for a healthy array.
+    retry:
+        :class:`~repro.emio.faults.RetryPolicy` bounding the transient-fault
+        retries (defaults to ``RetryPolicy()`` whenever ``faults`` is given).
+    checkpoint:
+        Take a host-side checkpoint at every compound-superstep barrier and
+        recover from fatal I/O faults by restoring it.  Off by default: the
+        checkpoint reads are charged as real parallel I/O.
+    max_recoveries:
+        Fatal-fault recovery budget; exceeding it raises
+        :class:`~repro.core.checkpoint.SimulationAborted` carrying the last
+        good checkpoint (hand it to :meth:`resume_from_checkpoint`).
     """
 
     def __init__(
@@ -79,6 +109,10 @@ class SequentialEMSimulation:
         enforce_gamma: bool = True,
         round_robin_writes: bool = False,
         write_schedule: str | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        checkpoint: bool = False,
+        max_recoveries: int = 8,
     ):
         if params.machine.p != 1:
             raise ParameterError(
@@ -92,12 +126,32 @@ class SequentialEMSimulation:
         self.write_schedule = write_schedule or (
             "rotate" if round_robin_writes else "random"
         )
+        self.checkpoint_enabled = checkpoint
+        self.max_recoveries = max_recoveries
 
         m = params.machine
-        self.array = DiskArray(m.D, m.B)
+        self.array = DiskArray(m.D, m.B, faults=faults, retry=retry, proc=0)
         self.allocator = RegionAllocator(self.array)
         self.ledger = CostLedger(m)
         self.report = SimulationReport(params=params, ledger=self.ledger)
+
+        self.gamma = algorithm.comm_bound() if enforce_gamma else None
+        self.gpb = -(-params.bsp.gamma // m.B) if params.bsp.gamma else 0
+        self.groups = params.bsp.v // params.k
+        self.contexts = ContextStore(
+            self.array, self.allocator, params.bsp.v, params.bsp.mu, m.B,
+            name="contexts",
+        )
+
+        # -- live simulation state (checkpoint/restore targets) ----------------
+        self._incoming: StripedRegion | None = None
+        self._buckets: LinkedBuckets | None = None
+        self.last_checkpoint: SuperstepCheckpoint | None = None
+        self._recoveries = 0
+        self._checkpoints_taken = 0
+        self._checkpoint_io_ops = 0
+        self._recovery_io_ops = 0
+        self._resumed_from: int | None = None
 
     # -- helpers -------------------------------------------------------------------
 
@@ -109,159 +163,329 @@ class SequentialEMSimulation:
     def _io_delta(self, since: int) -> int:
         return self.array.parallel_ops - since
 
+    def _stall_total(self) -> int:
+        """Stall op-equivalents so far: retry backoff plus latency spikes."""
+        inj = self.array.injector
+        return self.array.stall_ops + (inj.stats.stall_ops if inj else 0)
+
+    def _group_slots(self, g: int) -> list[int]:
+        k = self.params.k
+        return list(range(g * k, (g + 1) * k))
+
     # -- main entry ------------------------------------------------------------------
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
-        alg = self.algorithm
-        p = self.params
-        v, k = p.bsp.v, p.k
-        B = p.machine.B
-        gamma = alg.comm_bound() if self.enforce_gamma else None
-        gpb = -(-p.bsp.gamma // B) if p.bsp.gamma else 0
-        groups = v // k
+        self._load_input()
+        if self.checkpoint_enabled:
+            self._guarded_checkpoint(0)
+        self._run_from(0)
+        return self._finish()
 
-        contexts = ContextStore(
-            self.array, self.allocator, v, p.bsp.mu, B, name="contexts"
-        )
+    def resume_from_checkpoint(
+        self, ckpt: SuperstepCheckpoint
+    ) -> tuple[list[Any], SimulationReport]:
+        """Continue an aborted run from a checkpoint, on this (fresh) engine.
 
-        # ---- load input: create and store initial contexts, k at a time ----
+        Rewrites the checkpointed contexts and incoming region onto this
+        engine's disk array, restores the RNG and the ledger, and resumes at
+        ``ckpt.step`` — completed supersteps are *not* re-run.  The engine
+        must have been built with the same algorithm and parameters as the
+        aborted one (typically on healthy replacement hardware, so no fault
+        plan).
+        """
+        if ckpt.nprocs != 1:
+            raise ParameterError(
+                f"checkpoint holds {ckpt.nprocs} processors, expected 1"
+            )
+        self._resumed_from = ckpt.step
+        self.last_checkpoint = ckpt
+        self._restore(ckpt)
+        self._run_from(ckpt.step)
+        return self._finish()
+
+    # -- run skeleton ---------------------------------------------------------------
+
+    def _load_input(self) -> None:
+        """Create and store the initial contexts, ``k`` at a time."""
+        alg, v = self.algorithm, self.params.bsp.v
         ops0 = self.array.parallel_ops
-        for g in range(groups):
-            slots = list(range(g * k, (g + 1) * k))
+        for g in range(self.groups):
+            slots = self._group_slots(g)
             states = [alg.initial_state(pid, v) for pid in slots]
-            contexts.save_group(slots, states)
+            self.contexts.save_group(slots, states)
         self.report.init_io_ops = self._io_delta(ops0)
 
-        incoming: StripedRegion | None = None
-
-        for step in range(alg.MAX_SUPERSTEPS):
-            cost = self.ledger.begin_superstep(label=f"superstep {step}")
-            phases = PhaseBreakdown()
-            buckets = LinkedBuckets(
-                self.array,
-                self.allocator,
-                nbuckets=p.machine.D,
-                bucket_of=self._bucket_of,
-                rng=self.rng,
-                schedule=self.write_schedule,
-            )
-            all_halted = True
-            blocks_generated = 0
-            sent_packets = [0] * v
-            recv_packets = [0] * v
-            dummy_rr = 0
-
-            for g in range(groups):
-                slots = list(range(g * k, (g + 1) * k))
-
-                # -- Fetching phase: Step 1(a) contexts, Step 1(b) messages --
-                t = self.array.parallel_ops
-                states = contexts.load_group(slots)
-                phases.fetch_context += self._io_delta(t)
-
-                t = self.array.parallel_ops
-                if incoming is not None:
-                    group_blocks = incoming.read_slots(slots)
-                else:
-                    group_blocks = [[] for _ in slots]
-                phases.fetch_messages += self._io_delta(t)
-
-                # -- Computation phase: Step 1(c) --
-                group_out_blocks: list[Block] = []
-                new_states = []
-                for pid, state, blks in zip(slots, states, group_blocks):
-                    msgs = blocks_to_messages(blks)
-                    if gamma is not None:
-                        nrecv = sum(m.size for m in msgs)
-                        if nrecv > gamma:
-                            raise AlgorithmError(
-                                f"vp {pid} received {nrecv} records in superstep "
-                                f"{step}, exceeding gamma={gamma}"
-                            )
-                    ctx = VPContext(pid, v, step, state, msgs, comm_bound=gamma)
-                    alg.superstep(ctx)
-                    new_states.append(ctx.state)
-                    if not ctx.halted:
-                        all_halted = False
-                    cost.comp_ops += ctx.comp_ops
-                    for mi, m in enumerate(ctx.outbox):
-                        pk = packets_for(max(m.size, 1), p.machine.b)
-                        sent_packets[pid] += pk
-                        recv_packets[m.dest] += pk
-                        cost.records_sent += m.size
-                        group_out_blocks.extend(message_to_blocks(m, B, mi))
-
-                # -- Writing phase: Step 1(d) messages, Step 1(e) contexts --
-                if self.pad_to_gamma:
-                    want = k * gpb
-                    while len(group_out_blocks) < want:
-                        group_out_blocks.append(
-                            Block(records=[], dest=dummy_rr % v, dummy=True)
-                        )
-                        dummy_rr += 1
-                t = self.array.parallel_ops
-                buckets.append_blocks(group_out_blocks)
-                phases.write_messages += self._io_delta(t)
-                blocks_generated += sum(
-                    0 if b.dummy else 1 for b in group_out_blocks
+    def _run_from(self, start: int) -> None:
+        """Drive supersteps from ``start``, recovering from fatal faults."""
+        step = start
+        while True:
+            if step >= self.algorithm.MAX_SUPERSTEPS:
+                raise AlgorithmError(
+                    "algorithm did not halt within "
+                    f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
+            try:
+                finished = self._superstep(step)
+                if not finished and self.checkpoint_enabled:
+                    self._take_checkpoint(step + 1)
+            except FATAL_IO_FAULTS as exc:
+                step = self._handle_fault(exc)
+                continue
+            if finished:
+                return
+            step += 1
 
-                t = self.array.parallel_ops
-                contexts.save_group(slots, new_states)
-                phases.write_context += self._io_delta(t)
+    def _guarded_checkpoint(self, step: int) -> None:
+        """Initial checkpoint, with the same fault handling as the loop."""
+        try:
+            self._take_checkpoint(step)
+        except FATAL_IO_FAULTS as exc:
+            raise SimulationAborted(
+                f"fatal I/O fault before the first checkpoint: {exc}", None
+            ) from exc
 
-            # -- Step 2: reorganize the generated blocks (Algorithm 2) --
-            t = self.array.parallel_ops
-            new_incoming, routing = simulate_routing(
-                self.array,
-                self.allocator,
-                buckets,
-                nslots=v,
-                slot_of=lambda dest: dest,
-                name=f"incoming@{step + 1}",
-            )
-            phases.reorganize += self._io_delta(t)
-            buckets.free()
-            if incoming is not None:
-                incoming.free()
-            incoming = new_incoming
+    def _handle_fault(self, exc: Exception) -> int:
+        """Restore the last checkpoint; return the superstep to re-run."""
+        self._recoveries += 1
+        if self.last_checkpoint is None:
+            raise SimulationAborted(
+                f"fatal I/O fault with no checkpoint to recover from "
+                f"(run with checkpoint=True): {exc}",
+                None,
+            ) from exc
+        if self._recoveries > self.max_recoveries:
+            raise SimulationAborted(
+                f"fatal I/O fault after exhausting max_recoveries="
+                f"{self.max_recoveries}: {exc}",
+                self.last_checkpoint,
+            ) from exc
+        self._restore(self.last_checkpoint)
+        return self.last_checkpoint.step
 
-            # BSP*-equivalent communication cost of the *virtual* machine
-            # (diagnostic; the real machine has p=1 and no router traffic).
-            cost.comm_packets = max(
-                (sent_packets[i] + recv_packets[i] for i in range(v)), default=0
-            )
-            cost.io_ops = phases.total
-            cost.records_io = phases.total * p.machine.D * B
+    # -- checkpoint/restore ----------------------------------------------------------
 
-            self.report.supersteps.append(
-                SuperstepReport(
-                    index=step,
-                    phases=phases,
-                    routing=routing,
-                    comm_packets=cost.comm_packets,
-                    message_blocks=blocks_generated,
-                    halted=all_halted,
-                )
-            )
+    def _take_checkpoint(self, step: int) -> None:
+        """Snapshot the barrier state reachable before superstep ``step``.
 
-            if all_halted and blocks_generated == 0:
-                break
+        Reading the contexts and the incoming region off the simulated disks
+        is charged as real parallel I/O (``checkpoint_io_ops``); holding the
+        pickled snapshot on the host side is free, like writing it to a
+        durable service outside the machine model.
+        """
+        ops0 = self.array.parallel_ops
+        states = self.contexts.export_all(group_size=self.params.k)
+        if self._incoming is not None:
+            inc = self._incoming
+            blocks = inc.read_slots(range(inc.nslots))
+            inc_blob = freeze((inc.slot_sizes, blocks))
         else:
-            raise AlgorithmError(
-                f"algorithm did not halt within MAX_SUPERSTEPS={alg.MAX_SUPERSTEPS}"
-            )
+            inc_blob = None
+        self.last_checkpoint = SuperstepCheckpoint(
+            step=step,
+            rng_state=self.rng.getstate(),
+            proc_states=[freeze(states)],
+            proc_incoming=[inc_blob],
+            report_blob=freeze((self.report, self.ledger)),
+            dead_disks=[set(self.array.dead_disks)],
+        )
+        self._checkpoints_taken += 1
+        self._checkpoint_io_ops += self._io_delta(ops0)
 
+    def _restore(self, ckpt: SuperstepCheckpoint) -> None:
+        """Rewrite the checkpointed barrier state onto the (possibly
+        degraded) disk array and rewind report, ledger, and RNG."""
+        ops0 = self.array.parallel_ops
+        # Drop partial superstep state.  Scratch leaked by an interrupted
+        # reorganization stays allocated (it only inflates the space high
+        # water, like a real crash leaving unreclaimed sectors).
+        if self._buckets is not None:
+            self._buckets.free()
+            self._buckets = None
+        if self._incoming is not None:
+            self._incoming.free()
+            self._incoming = None
+        self.report, self.ledger = thaw(ckpt.report_blob)
+        self.rng.setstate(ckpt.rng_state)
+        self.contexts.import_all(thaw(ckpt.proc_states[0]), group_size=self.params.k)
+        if ckpt.proc_incoming[0] is not None:
+            slot_sizes, blocks = thaw(ckpt.proc_incoming[0])
+            region = StripedRegion(
+                self.array, self.allocator, slot_sizes,
+                name=f"incoming@resume{ckpt.step}",
+            )
+            region.write_slots(range(region.nslots), blocks)
+            self._incoming = region
+        self._recovery_io_ops += self._io_delta(ops0)
+
+    # -- one compound superstep --------------------------------------------------------
+
+    def _superstep(self, step: int) -> bool:
+        """Run compound superstep ``step``; return True when the algorithm
+        halted with no traffic in flight."""
+        alg = self.algorithm
+        p = self.params
+        v, k, B = p.bsp.v, p.k, p.machine.B
+        gamma = self.gamma
+
+        cost = self.ledger.begin_superstep(label=f"superstep {step}")
+        phases = PhaseBreakdown()
+        retry0 = self.array.retry_ops
+        stall0 = self._stall_total()
+        self._buckets = buckets = LinkedBuckets(
+            self.array,
+            self.allocator,
+            nbuckets=p.machine.D,
+            bucket_of=self._bucket_of,
+            rng=self.rng,
+            schedule=self.write_schedule,
+        )
+        all_halted = True
+        blocks_generated = 0
+        sent_packets = [0] * v
+        recv_packets = [0] * v
+        dummy_rr = 0
+
+        for g in range(self.groups):
+            slots = self._group_slots(g)
+
+            # -- Fetching phase: Step 1(a) contexts, Step 1(b) messages --
+            t = self.array.parallel_ops
+            states = self.contexts.load_group(slots)
+            phases.fetch_context += self._io_delta(t)
+
+            t = self.array.parallel_ops
+            if self._incoming is not None:
+                group_blocks = self._incoming.read_slots(slots)
+            else:
+                group_blocks = [[] for _ in slots]
+            phases.fetch_messages += self._io_delta(t)
+
+            # -- Computation phase: Step 1(c) --
+            group_out_blocks: list[Block] = []
+            new_states = []
+            for pid, state, blks in zip(slots, states, group_blocks):
+                msgs = blocks_to_messages(blks)
+                if gamma is not None:
+                    nrecv = sum(m.size for m in msgs)
+                    if nrecv > gamma:
+                        raise AlgorithmError(
+                            f"vp {pid} received {nrecv} records in superstep "
+                            f"{step}, exceeding gamma={gamma}"
+                        )
+                ctx = VPContext(pid, v, step, state, msgs, comm_bound=gamma)
+                alg.superstep(ctx)
+                new_states.append(ctx.state)
+                if not ctx.halted:
+                    all_halted = False
+                cost.comp_ops += ctx.comp_ops
+                for mi, m in enumerate(ctx.outbox):
+                    pk = packets_for(max(m.size, 1), p.machine.b)
+                    sent_packets[pid] += pk
+                    recv_packets[m.dest] += pk
+                    cost.records_sent += m.size
+                    group_out_blocks.extend(message_to_blocks(m, B, mi))
+
+            # -- Writing phase: Step 1(d) messages, Step 1(e) contexts --
+            if self.pad_to_gamma:
+                want = k * self.gpb
+                while len(group_out_blocks) < want:
+                    group_out_blocks.append(
+                        Block(records=[], dest=dummy_rr % v, dummy=True)
+                    )
+                    dummy_rr += 1
+            t = self.array.parallel_ops
+            buckets.append_blocks(group_out_blocks)
+            phases.write_messages += self._io_delta(t)
+            blocks_generated += sum(0 if b.dummy else 1 for b in group_out_blocks)
+
+            t = self.array.parallel_ops
+            self.contexts.save_group(slots, new_states)
+            phases.write_context += self._io_delta(t)
+
+        # -- Step 2: reorganize the generated blocks (Algorithm 2) --
+        t = self.array.parallel_ops
+        new_incoming, routing = simulate_routing(
+            self.array,
+            self.allocator,
+            buckets,
+            nslots=v,
+            slot_of=lambda dest: dest,
+            name=f"incoming@{step + 1}",
+        )
+        phases.reorganize += self._io_delta(t)
+        buckets.free()
+        self._buckets = None
+        if self._incoming is not None:
+            self._incoming.free()
+        self._incoming = new_incoming
+
+        # BSP*-equivalent communication cost of the *virtual* machine
+        # (diagnostic; the real machine has p=1 and no router traffic).
+        cost.comm_packets = max(
+            (sent_packets[i] + recv_packets[i] for i in range(v)), default=0
+        )
+        cost.io_ops = phases.total
+        cost.records_io = phases.total * p.machine.D * B
+        cost.retry_ops = self.array.retry_ops - retry0
+        cost.stall_ops = self._stall_total() - stall0
+
+        self.report.supersteps.append(
+            SuperstepReport(
+                index=step,
+                phases=phases,
+                routing=routing,
+                comm_packets=cost.comm_packets,
+                message_blocks=blocks_generated,
+                halted=all_halted,
+            )
+        )
+        return all_halted and blocks_generated == 0
+
+    # -- wrap-up ---------------------------------------------------------------------
+
+    def _finish(self) -> tuple[list[Any], SimulationReport]:
+        alg = self.algorithm
         self.ledger.close()
+        self.report.ledger = self.ledger
 
         # ---- unload output, k contexts at a time ----
         ops0 = self.array.parallel_ops
         outputs: list[Any] = []
-        for g in range(groups):
-            slots = list(range(g * k, (g + 1) * k))
-            for pid, state in zip(slots, contexts.load_group(slots)):
+        for g in range(self.groups):
+            slots = self._group_slots(g)
+            for pid, state in zip(slots, self.contexts.load_group(slots)):
                 outputs.append(alg.output(pid, state))
         self.report.output_io_ops = self._io_delta(ops0)
         self.report.disk_space_tracks = self.allocator.high_water
+        self._attach_fault_report()
         return outputs, self.report
+
+    def _attach_fault_report(self) -> None:
+        if (
+            self.array.injector is None
+            and not self.checkpoint_enabled
+            and self._resumed_from is None
+        ):
+            return
+        fr = FaultReport(
+            retry_reads=self.array.retry_reads,
+            retry_writes=self.array.retry_writes,
+            stall_ops=self._stall_total(),
+            degraded_writes=self.array.degraded_writes,
+            recoveries=self._recoveries,
+            checkpoints_taken=self._checkpoints_taken,
+            checkpoint_io_ops=self._checkpoint_io_ops,
+            recovery_io_ops=self._recovery_io_ops,
+            resumed_from_step=self._resumed_from,
+        )
+        inj = self.array.injector
+        if inj is not None:
+            s = inj.stats
+            fr.transient_read_errors = s.transient_read_errors
+            fr.transient_write_errors = s.transient_write_errors
+            fr.corruptions_injected = s.corruptions_injected
+            fr.checksum_errors = s.checksum_errors
+            fr.latency_spikes = s.latency_spikes
+            fr.disks_died = s.disks_died
+        self.report.faults = fr

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Literal
 
 from ..bsp.program import BSPAlgorithm
+from ..emio.faults import FaultPlan, RetryPolicy
 from ..params import BSPParams, MachineParams, SimulationParams
 from .parsim import ParallelEMSimulation
 from .seqsim import SequentialEMSimulation
@@ -49,6 +50,10 @@ def simulate(
     seed: int = 0,
     engine: Literal["auto", "sequential", "parallel"] = "auto",
     strict: bool = False,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: bool = False,
+    max_recoveries: int = 8,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -61,6 +66,18 @@ def simulate(
         accepts ``p == 1`` and exercises the packet-scatter path).
     strict:
         Enforce Theorem 1's side conditions (slackness etc.).
+    faults:
+        Optional :class:`~repro.emio.faults.FaultPlan` injecting disk faults
+        (transient errors, corruption, latency spikes, disk death) into the
+        simulated arrays.  Transient faults are masked by bounded retries
+        (``retry``); fatal faults need ``checkpoint=True`` to recover.
+    retry:
+        Retry policy for transient faults; defaults to
+        :class:`~repro.emio.faults.RetryPolicy` whenever ``faults`` is given.
+    checkpoint:
+        Checkpoint at every compound-superstep barrier and re-run a
+        superstep after a fatal I/O fault (at most ``max_recoveries`` times).
+        The run's fault/retry/recovery tallies land in ``report.faults``.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -74,10 +91,18 @@ def simulate(
     params = build_params(algorithm, machine, v, k=k, strict=strict)
     if engine == "auto":
         engine = "sequential" if machine.p == 1 else "parallel"
+    kwargs = dict(
+        seed=seed,
+        faults=faults,
+        retry=retry,
+        checkpoint=checkpoint,
+        max_recoveries=max_recoveries,
+        **engine_kwargs,
+    )
     if engine == "sequential":
-        sim = SequentialEMSimulation(algorithm, params, seed=seed, **engine_kwargs)
+        sim = SequentialEMSimulation(algorithm, params, **kwargs)
     elif engine == "parallel":
-        sim = ParallelEMSimulation(algorithm, params, seed=seed, **engine_kwargs)
+        sim = ParallelEMSimulation(algorithm, params, **kwargs)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     return sim.run()

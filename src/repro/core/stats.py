@@ -8,7 +8,56 @@ from ..costs import CostLedger
 from ..params import SimulationParams
 from .routing import RoutingStats
 
-__all__ = ["PhaseBreakdown", "SuperstepReport", "SimulationReport"]
+__all__ = ["PhaseBreakdown", "SuperstepReport", "FaultReport", "SimulationReport"]
+
+
+@dataclass
+class FaultReport:
+    """Faults injected, masked, and recovered from during one run.
+
+    Populated by the engines whenever fault injection or checkpointing is
+    active (see :mod:`repro.emio.faults` and :mod:`repro.core.checkpoint`).
+    Injection counters aggregate over all real processors' disk arrays.
+    """
+
+    # -- injected by the fault plan -------------------------------------------
+    transient_read_errors: int = 0
+    transient_write_errors: int = 0
+    corruptions_injected: int = 0
+    checksum_errors: int = 0  # corruptions *detected* on read-back
+    latency_spikes: int = 0
+    disks_died: int = 0
+    # -- masked by the disk array's retry policy ------------------------------
+    retry_reads: int = 0  # extra parallel read operations
+    retry_writes: int = 0  # extra parallel write operations
+    stall_ops: int = 0  # op-equivalents lost to backoff + spikes
+    degraded_writes: int = 0  # writes remapped off dead drives
+    # -- handled by the engine's checkpoint/recovery loop ---------------------
+    recoveries: int = 0  # superstep re-runs after a fatal fault
+    checkpoints_taken: int = 0
+    checkpoint_io_ops: int = 0  # parallel reads capturing barrier state
+    recovery_io_ops: int = 0  # parallel writes restoring barrier state
+    resumed_from_step: int | None = None  # set by resume_from_checkpoint()
+
+    @property
+    def retry_ops(self) -> int:
+        return self.retry_reads + self.retry_writes
+
+    def summary(self) -> dict:
+        return {
+            "transient_errors": self.transient_read_errors
+            + self.transient_write_errors,
+            "checksum_errors": self.checksum_errors,
+            "latency_spikes": self.latency_spikes,
+            "disks_died": self.disks_died,
+            "retry_ops": self.retry_ops,
+            "stall_ops": self.stall_ops,
+            "degraded_writes": self.degraded_writes,
+            "recoveries": self.recoveries,
+            "checkpoints": self.checkpoints_taken,
+            "checkpoint_io_ops": self.checkpoint_io_ops,
+            "recovery_io_ops": self.recovery_io_ops,
+        }
 
 
 @dataclass
@@ -59,6 +108,8 @@ class SimulationReport:
     disk_space_tracks: int = 0  # allocator high water, tracks per disk
     init_io_ops: int = 0  # input loading (excluded from superstep costs)
     output_io_ops: int = 0  # result unloading
+    faults: FaultReport | None = None  # set when fault injection or
+    # checkpointing was active (see repro.emio.faults, repro.core.checkpoint)
 
     @property
     def num_supersteps(self) -> int:
@@ -107,4 +158,6 @@ class SimulationReport:
                 "disk_space_tracks": self.disk_space_tracks,
             }
         )
+        if self.faults is not None:
+            d.update({f"faults_{k}": val for k, val in self.faults.summary().items()})
         return d

@@ -17,7 +17,6 @@ counts (see DESIGN.md section 2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from .params import MachineParams
@@ -51,6 +50,8 @@ class SuperstepCost:
     records_io: int = 0  # total records moved to/from disk (diagnostic)
     syncs: int = 1  # barrier synchronizations (compound supersteps of the
     # parallel simulation run v/(p*k) rounds, each with its own barriers)
+    retry_ops: int = 0  # of io_ops: retry rounds masking transient faults
+    stall_ops: int = 0  # op-equivalents lost to backoff + latency spikes
     label: str = ""
 
     def comm_time(self, machine: MachineParams) -> float:
@@ -60,8 +61,13 @@ class SuperstepCost:
         return max(machine.L, machine.g * self.comm_packets)
 
     def io_time(self, machine: MachineParams) -> float:
-        """EM I/O time ``G * (parallel I/O operations)``."""
-        return machine.G * self.io_ops
+        """EM I/O time ``G * (parallel I/O operations + stalls)``.
+
+        Retry rounds are already inside ``io_ops`` (they are real parallel
+        operations); stalls occupy the array for op-equivalents without
+        transferring data, so they are charged on top.
+        """
+        return machine.G * (self.io_ops + self.stall_ops)
 
     def total_time(self, machine: MachineParams) -> float:
         """Total model time of this superstep: comp + comm + I/O + L."""
@@ -154,6 +160,14 @@ class CostLedger:
     def total_records_io(self) -> int:
         return sum(s.records_io for s in self._all())
 
+    @property
+    def total_retry_ops(self) -> int:
+        return sum(s.retry_ops for s in self._all())
+
+    @property
+    def total_stall_ops(self) -> int:
+        return sum(s.stall_ops for s in self._all())
+
     def total_comm_time(self) -> float:
         return sum(s.comm_time(self.machine) for s in self._all())
 
@@ -170,6 +184,8 @@ class CostLedger:
             "comp_ops": self.total_comp,
             "comm_packets": self.total_comm_packets,
             "io_ops": self.total_io_ops,
+            "retry_ops": self.total_retry_ops,
+            "stall_ops": self.total_stall_ops,
             "records_sent": self.total_records_sent,
             "records_io": self.total_records_io,
             "comm_time": self.total_comm_time(),
@@ -195,5 +211,7 @@ class CostLedger:
             mine.comm_packets = max(mine.comm_packets, theirs.comm_packets)
             mine.io_ops = max(mine.io_ops, theirs.io_ops)
             mine.syncs = max(mine.syncs, theirs.syncs)
+            mine.retry_ops = max(mine.retry_ops, theirs.retry_ops)
+            mine.stall_ops = max(mine.stall_ops, theirs.stall_ops)
             mine.records_sent += theirs.records_sent
             mine.records_io += theirs.records_io

@@ -9,6 +9,17 @@ operations over ``D`` drives (:mod:`~repro.emio.diskarray`), the deterministic
 
 from .disk import Block, Disk, DiskError
 from .diskarray import DiskArray
+from .faults import (
+    ChecksumError,
+    DataLossError,
+    FaultInjector,
+    FaultPlan,
+    FaultyDisk,
+    PermanentDiskError,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientDiskError,
+)
 from .layout import (
     ConsecutiveRegion,
     RegionAllocator,
@@ -27,6 +38,15 @@ __all__ = [
     "Disk",
     "DiskError",
     "DiskArray",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyDisk",
+    "RetryPolicy",
+    "TransientDiskError",
+    "ChecksumError",
+    "PermanentDiskError",
+    "DataLossError",
+    "RetryExhaustedError",
     "ConsecutiveRegion",
     "StripedRegion",
     "RegionAllocator",

@@ -15,7 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-__all__ = ["Block", "Disk", "DiskError"]
+__all__ = ["Block", "Disk", "DiskError", "SHADOW_TRACK_BASE"]
+
+#: First track number of the *shadow namespace*: when a disk dies, the array
+#: remaps its writes onto surviving disks at tracks >= this base so remapped
+#: blocks can never collide with allocator-managed ranges.  Shadow tracks are
+#: excluded from the high-water statistic (they are not real capacity).
+SHADOW_TRACK_BASE = 1 << 40
 
 
 class DiskError(RuntimeError):
@@ -57,14 +63,14 @@ class Block:
     seq: int = 0
     dummy: bool = False
 
-    def nrecords(self, B: int) -> int:
+    def nrecords(self) -> int:
         """Number of records this block carries (bytes payloads count in 8-byte records)."""
         if isinstance(self.records, (bytes, bytearray)):
             return -(-len(self.records) // self.BYTES_PER_RECORD)
         return len(self.records)
 
     def validate(self, B: int) -> None:
-        n = self.nrecords(B)
+        n = self.nrecords()
         if n > B:
             raise DiskError(f"block holds {n} records, exceeds block size B={B}")
 
@@ -89,10 +95,10 @@ class Disk:
 
     def _check_track(self, track: int) -> None:
         if track < 0:
-            raise DiskError(f"negative track number {track}")
+            raise DiskError(f"disk {self.disk_id}: negative track number {track}")
         if self.capacity is not None and track >= self.capacity:
             raise DiskError(
-                f"track {track} beyond disk {self.disk_id} capacity {self.capacity}"
+                f"disk {self.disk_id}: track {track} beyond capacity {self.capacity}"
             )
 
     def read_track(self, track: int) -> Block | None:
@@ -108,7 +114,7 @@ class Disk:
             block.validate(self.B)
         self.writes += 1
         self._tracks[track] = block
-        if track > self._high_water:
+        if self._high_water < track < SHADOW_TRACK_BASE:
             self._high_water = track
 
     # -- inspection (free of charge; simulator-internal) -----------------------
@@ -138,6 +144,7 @@ class Disk:
     def reset_stats(self) -> None:
         self.reads = 0
         self.writes = 0
+        self._high_water = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

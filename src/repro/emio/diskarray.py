@@ -10,13 +10,33 @@ fewer disk drives incurs the same cost."
 disks.  It enforces the one-track-per-disk rule per operation and counts the
 number of parallel I/O operations — the quantity ``t_I/O / G`` the paper's
 theorems bound.
+
+Robustness (see :mod:`repro.emio.faults`): when a :class:`FaultPlan` is
+attached, the array masks transient errors with a bounded
+:class:`RetryPolicy` (each retry round is one extra counted parallel I/O,
+plus deterministic backoff stalls), and survives a permanent disk death in
+*degraded mode*: writes bound for the dead disk are remapped round-robin
+across the surviving ``D-1`` drives into a shadow track namespace, so the
+Lemma 2 balance accounting degrades gracefully instead of collapsing.  Data
+written to a disk *before* it died is gone — reading it raises
+:class:`DataLossError`, which the engines answer with checkpoint recovery.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .disk import Block, Disk, DiskError
+from .disk import SHADOW_TRACK_BASE, Block, Disk, DiskError
+from .faults import (
+    DataLossError,
+    FaultInjector,
+    FaultPlan,
+    FaultyDisk,
+    PermanentDiskError,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientDiskError,
+)
 
 __all__ = ["DiskArray"]
 
@@ -32,15 +52,146 @@ class DiskArray:
         Block (track) size in records.
     ntracks:
         Optional per-disk capacity, to assert the paper's space bounds.
+    faults:
+        A :class:`~repro.emio.faults.FaultPlan` (instantiated for processor
+        ``proc``) or an already-built :class:`FaultInjector`.  When given,
+        the array's disks become :class:`FaultyDisk` instances.
+    retry:
+        Retry policy masking transient faults.  Defaults to
+        :class:`RetryPolicy()` whenever ``faults`` is given.
+    proc:
+        Real-processor index this array belongs to (selects the fault
+        streams and the plan's ``dead_proc`` target).
     """
 
-    def __init__(self, D: int, B: int, ntracks: int | None = None):
+    def __init__(
+        self,
+        D: int,
+        B: int,
+        ntracks: int | None = None,
+        faults: "FaultPlan | FaultInjector | None" = None,
+        retry: RetryPolicy | None = None,
+        proc: int = 0,
+    ):
         if D < 1:
             raise DiskError(f"D must be >= 1, got {D}")
         self.D = D
         self.B = B
-        self.disks = [Disk(d, B, ntracks) for d in range(D)]
+        self.proc = proc
+        if isinstance(faults, FaultPlan):
+            faults = faults.injector(proc)
+        self.injector: FaultInjector | None = faults
+        if (
+            faults is not None
+            and faults.plan.dead_disk is not None
+            and faults.plan.dead_proc == proc
+            and faults.plan.dead_disk >= D
+        ):
+            raise DiskError(
+                f"FaultPlan.dead_disk={faults.plan.dead_disk} is out of range "
+                f"for a {D}-disk array (disk ids are 0..{D - 1})"
+            )
+        self.retry = retry if retry is not None else (RetryPolicy() if faults else None)
+        if faults is not None:
+            self.disks: list[Disk] = [
+                FaultyDisk(d, B, ntracks, injector=faults) for d in range(D)
+            ]
+        else:
+            self.disks = [Disk(d, B, ntracks) for d in range(D)]
         self.parallel_ops = 0
+        # -- robustness state ---------------------------------------------------
+        self.dead_disks: set[int] = set()
+        self.retry_reads = 0  # extra parallel ops spent re-reading
+        self.retry_writes = 0  # extra parallel ops spent re-writing
+        self.stall_ops = 0  # backoff stalls (op-equivalents), see RetryPolicy
+        self.degraded_writes = 0  # writes remapped away from dead disks
+        self._remap: dict[tuple[int, int], tuple[int, int]] = {}
+        self._shadow_next: dict[int, int] = {}
+        self._remap_rr = 0
+
+    # -- degraded mode ---------------------------------------------------------
+
+    @property
+    def live_disks(self) -> list[int]:
+        """Ids of the drives still alive (all of them in the healthy case)."""
+        if not self.dead_disks:
+            return list(range(self.D))
+        return [d for d in range(self.D) if d not in self.dead_disks]
+
+    def mark_dead(self, disk_id: int) -> None:
+        """Take ``disk_id`` out of service permanently (degraded mode)."""
+        if disk_id in self.dead_disks:
+            return
+        if len(self.dead_disks) + 1 >= self.D:
+            raise DiskError(
+                f"disk {disk_id}: cannot enter degraded mode, no surviving drives"
+            )
+        self.dead_disks.add(disk_id)
+        disk = self.disks[disk_id]
+        if isinstance(disk, FaultyDisk):
+            disk.dead = True
+
+    def _resolve_read(self, disk: int, track: int) -> tuple[int, int]:
+        return self._remap.get((disk, track), (disk, track))
+
+    def _resolve_write(self, disk: int, track: int) -> tuple[int, int]:
+        """Physical address for a write; remaps dead-disk targets.
+
+        Remapped targets are spread round-robin over the surviving drives
+        (preserving balance in the Lemma 2 sense up to the D/(D-1) factor)
+        and live in the shadow track namespace so they can never collide
+        with allocator-managed ranges.  The mapping is stable: rewriting the
+        same logical address overwrites the same shadow block.
+        """
+        if disk not in self.dead_disks:
+            return disk, track
+        key = (disk, track)
+        target = self._remap.get(key)
+        if target is None:
+            live = self.live_disks
+            tgt_disk = live[self._remap_rr % len(live)]
+            self._remap_rr += 1
+            shadow = self._shadow_next.get(tgt_disk, SHADOW_TRACK_BASE)
+            self._shadow_next[tgt_disk] = shadow + 1
+            target = (tgt_disk, shadow)
+            self._remap[key] = target
+        self.degraded_writes += 1
+        return target
+
+    # -- physical attempts (the unit the I/O trace records) ---------------------
+
+    def _attempt_read(
+        self, addrs: Sequence[tuple[int, int]], retry: bool = False
+    ) -> list["Block | None | DiskError"]:
+        """One physical parallel read; per-slot result is a block or an error."""
+        self.parallel_ops += 1
+        out: list[Block | None | DiskError] = []
+        for d, t in addrs:
+            try:
+                if d in self.dead_disks:
+                    raise PermanentDiskError(f"disk {d}: drive is dead")
+                out.append(self.disks[d].read_track(t))
+            except (TransientDiskError, PermanentDiskError) as exc:
+                out.append(exc)
+        return out
+
+    def _attempt_write(
+        self,
+        ops: Sequence[tuple[int, int, Block | None]],
+        retry: bool = False,
+    ) -> list["None | DiskError"]:
+        """One physical parallel write; per-slot result is None or an error."""
+        self.parallel_ops += 1
+        out: list[None | DiskError] = []
+        for d, t, blk in ops:
+            try:
+                if d in self.dead_disks:
+                    raise PermanentDiskError(f"disk {d}: drive is dead")
+                self.disks[d].write_track(t, blk)
+                out.append(None)
+            except (TransientDiskError, PermanentDiskError) as exc:
+                out.append(exc)
+        return out
 
     # -- parallel primitives ---------------------------------------------------
 
@@ -52,31 +203,123 @@ class DiskArray:
                 f"disk ids {sorted(disk_ids)}"
             )
 
+    @staticmethod
+    def _pack_round(items: list) -> tuple[list, list]:
+        """Split pending items into one physically-valid round and the rest.
+
+        ``items`` are ``(slot, (disk, ...))`` pairs; a round may touch each
+        physical disk once.  In degraded mode remapping can direct two
+        logical addresses at the same surviving disk — the extra rounds this
+        costs are exactly the degraded array's I/O penalty.
+        """
+        used: set[int] = set()
+        round_items, rest = [], []
+        for item in items:
+            d = item[1][0]
+            if d in used:
+                rest.append(item)
+            else:
+                used.add(d)
+                round_items.append(item)
+        return round_items, rest
+
+    def _charge_backoff(self, attempt: int) -> None:
+        if self.retry is not None:
+            self.stall_ops += self.retry.backoff_ops(attempt)
+
+    def _check_retry_budget(self, attempts: int, cause: DiskError) -> None:
+        limit = self.retry.max_retries if self.retry is not None else 0
+        if attempts > limit:
+            raise RetryExhaustedError(
+                f"access failed after {attempts - 1} retries: {cause}"
+            ) from cause
+
     def parallel_read(self, ops: Sequence[tuple[int, int]]) -> list[Block | None]:
         """One parallel I/O operation reading ``(disk, track)`` pairs.
 
         At most one track per disk; 1 <= len(ops) <= D.  Returns the blocks in
         the order requested.  Counts as one parallel operation regardless of
-        how many disks participate.
+        how many disks participate.  Transient faults are retried per the
+        array's :class:`RetryPolicy` (each retry round counts as one extra
+        parallel operation); reads of blocks lost with a dead disk raise
+        :class:`DataLossError`.
         """
+        ops = list(ops)
         if not ops:
             return []
         if len(ops) > self.D:
             raise DiskError(f"parallel read of {len(ops)} tracks exceeds D={self.D}")
         self._assert_one_per_disk([d for d, _ in ops])
-        self.parallel_ops += 1
-        return [self.disks[d].read_track(t) for d, t in ops]
+        results: list[Block | None] = [None] * len(ops)
+        fresh = [(i, self._resolve_read(d, t)) for i, (d, t) in enumerate(ops)]
+        retry_q: list[tuple[int, tuple[int, int]]] = []
+        attempts = [0] * len(ops)
+        while fresh or retry_q:
+            if fresh:
+                round_items, fresh = self._pack_round(fresh)
+                is_retry = False
+            else:
+                round_items, retry_q = self._pack_round(retry_q)
+                is_retry = True
+                self.retry_reads += 1
+            outcomes = self._attempt_read([a for _, a in round_items], retry=is_retry)
+            for (idx, (d, t)), out in zip(round_items, outcomes):
+                if isinstance(out, PermanentDiskError):
+                    self.mark_dead(d)
+                    target = self._remap.get((d, t))
+                    if target is None:
+                        raise DataLossError(
+                            f"disk {d}: block at track {t} was lost with the drive"
+                        ) from out
+                    retry_q.append((idx, target))
+                elif isinstance(out, TransientDiskError):
+                    attempts[idx] += 1
+                    self._check_retry_budget(attempts[idx], out)
+                    self._charge_backoff(attempts[idx])
+                    retry_q.append((idx, (d, t)))
+                else:
+                    results[idx] = out
+        return results
 
     def parallel_write(self, ops: Sequence[tuple[int, int, Block | None]]) -> None:
-        """One parallel I/O operation writing ``(disk, track, block)`` triples."""
+        """One parallel I/O operation writing ``(disk, track, block)`` triples.
+
+        Transient faults are retried; writes aimed at a dead disk are
+        remapped onto the surviving drives (degraded mode), so no write is
+        ever silently dropped.
+        """
+        ops = list(ops)
         if not ops:
             return
         if len(ops) > self.D:
             raise DiskError(f"parallel write of {len(ops)} tracks exceeds D={self.D}")
         self._assert_one_per_disk([d for d, _, _ in ops])
-        self.parallel_ops += 1
-        for d, t, blk in ops:
-            self.disks[d].write_track(t, blk)
+        fresh = [
+            (i, (*self._resolve_write(d, t), blk))
+            for i, (d, t, blk) in enumerate(ops)
+        ]
+        retry_q: list[tuple[int, tuple[int, int, Block | None]]] = []
+        attempts = [0] * len(ops)
+        while fresh or retry_q:
+            if fresh:
+                round_items, fresh = self._pack_round(fresh)
+                is_retry = False
+            else:
+                round_items, retry_q = self._pack_round(retry_q)
+                is_retry = True
+                self.retry_writes += 1
+            outcomes = self._attempt_write(
+                [triple for _, triple in round_items], retry=is_retry
+            )
+            for (idx, (d, t, blk)), out in zip(round_items, outcomes):
+                if isinstance(out, PermanentDiskError):
+                    self.mark_dead(d)
+                    retry_q.append((idx, (*self._resolve_write(d, t), blk)))
+                elif isinstance(out, TransientDiskError):
+                    attempts[idx] += 1
+                    self._check_retry_budget(attempts[idx], out)
+                    self._charge_backoff(attempts[idx])
+                    retry_q.append((idx, (d, t, blk)))
 
     # -- batched helpers ---------------------------------------------------------
 
@@ -132,6 +375,11 @@ class DiskArray:
     # -- statistics ----------------------------------------------------------------
 
     @property
+    def retry_ops(self) -> int:
+        """Extra parallel operations spent on retries (reads + writes)."""
+        return self.retry_reads + self.retry_writes
+
+    @property
     def total_accesses(self) -> int:
         return sum(d.accesses for d in self.disks)
 
@@ -145,6 +393,10 @@ class DiskArray:
 
     def reset_stats(self) -> None:
         self.parallel_ops = 0
+        self.retry_reads = 0
+        self.retry_writes = 0
+        self.stall_ops = 0
+        self.degraded_writes = 0
         for d in self.disks:
             d.reset_stats()
 

@@ -1,0 +1,378 @@
+"""Fault injection for the simulated disk subsystem.
+
+The paper's machine model assumes perfect devices; real parallel-disk
+machines (the PDM setting of Arge-Thorup, the STXXL systems work) must
+survive transient I/O errors, silently corrupted blocks, slow drives, and
+outright drive death.  This module supplies the fault model:
+
+* :class:`FaultPlan` — a seeded, deterministic description of *what goes
+  wrong*: per-access transient read/write error rates, a silent-corruption
+  rate, a latency-spike rate, and at most one permanent disk death at a
+  configured access count.  The same plan (same seed) always injects the
+  same fault sequence, so every failure scenario is reproducible.
+* :class:`FaultInjector` — one plan instantiated for one real processor's
+  disk array; holds the per-disk random streams and the injected-fault
+  counters.
+* :class:`FaultyDisk` — a drop-in :class:`~repro.emio.disk.Disk` that
+  consults the injector on every access and keeps a CRC32 checksum per
+  written block, so corruption is *detected* at read time (raising
+  :class:`ChecksumError`) instead of silently propagating wrong records
+  into the routing fabric.
+* :class:`RetryPolicy` — bounded retries with deterministic backoff, used
+  by :class:`~repro.emio.diskarray.DiskArray` to mask transient faults.
+
+Error taxonomy (all subclasses of :class:`~repro.emio.disk.DiskError`):
+
+* :class:`TransientDiskError` — the access failed but a retry may succeed.
+* :class:`ChecksumError` — a read returned data whose checksum does not
+  match what was written; retriable (the medium, not the data, glitched).
+* :class:`PermanentDiskError` — the drive is dead; no retry will help.
+* :class:`DataLossError` — a block lived only on a now-dead drive; only a
+  checkpoint (see :mod:`repro.core.checkpoint`) can recover the run.
+* :class:`RetryExhaustedError` — the retry budget ran out.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from .disk import Block, Disk, DiskError
+
+__all__ = [
+    "TransientDiskError",
+    "ChecksumError",
+    "PermanentDiskError",
+    "DataLossError",
+    "RetryExhaustedError",
+    "FATAL_IO_FAULTS",
+    "RetryPolicy",
+    "FaultStats",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyDisk",
+    "block_checksum",
+]
+
+
+class TransientDiskError(DiskError):
+    """A disk access failed transiently; retrying may succeed."""
+
+
+class ChecksumError(TransientDiskError):
+    """A read returned a block whose checksum does not match the write."""
+
+
+class PermanentDiskError(DiskError):
+    """The disk is permanently dead; no retry will succeed."""
+
+
+class DataLossError(DiskError):
+    """A block was stored only on a now-dead disk and cannot be re-read."""
+
+
+class RetryExhaustedError(DiskError):
+    """The bounded retry budget was exhausted without a successful access."""
+
+
+#: Faults a retry cannot mask; engines recover from these via checkpoints.
+FATAL_IO_FAULTS = (DataLossError, PermanentDiskError, RetryExhaustedError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy for :class:`~repro.emio.diskarray.DiskArray`.
+
+    Each failed access is retried up to ``max_retries`` times.  Before the
+    ``r``-th retry of an access the array stalls for ``backoff_ops(r)``
+    parallel-operation equivalents — a deterministic linear backoff counted
+    in the cost ledger (every stall op costs ``G`` model time, like a real
+    parallel I/O the drives spend waiting instead of transferring).
+    """
+
+    max_retries: int = 6
+    backoff_base: int = 1
+
+    def backoff_ops(self, attempt: int) -> int:
+        """Stall ops charged before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * attempt
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults, kept per :class:`FaultInjector`."""
+
+    transient_read_errors: int = 0
+    transient_write_errors: int = 0
+    corruptions_injected: int = 0
+    checksum_errors: int = 0
+    latency_spikes: int = 0
+    stall_ops: int = 0  # op-equivalents lost to latency spikes
+    disks_died: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic description of the faults to inject.
+
+    All rates are per-access probabilities in ``[0, 1]``.  A plan is pure
+    configuration; call :meth:`injector` to instantiate it for one real
+    processor's disk array (each processor gets independent but
+    deterministic fault streams derived from ``seed``).
+
+    Parameters
+    ----------
+    seed:
+        Root seed of every per-disk fault stream.
+    read_error_rate, write_error_rate:
+        Probability that a read/write access fails with a
+        :class:`TransientDiskError` (nothing is transferred).
+    corruption_rate:
+        Probability that a read returns a silently corrupted copy of the
+        stored block.  With ``checksums=True`` (the default) the corruption
+        is detected and surfaces as a retriable :class:`ChecksumError`;
+        with ``checksums=False`` the corrupted block is returned as-is —
+        the failure mode the checksums exist to prevent.
+    latency_rate:
+        Probability that an access stalls its drive for
+        ``latency_stall_ops`` parallel-operation equivalents (a slow-disk
+        spike; counted as model I/O time, data still transfers).
+    latency_stall_ops:
+        Size of one latency spike, in parallel-op equivalents.
+    dead_disk:
+        Disk id (on processor ``dead_proc``) that dies permanently, or
+        ``None`` for no death.
+    dead_after:
+        Number of accesses the doomed disk serves before dying.
+    dead_proc:
+        Real-processor index whose array contains the doomed disk.
+    checksums:
+        Maintain and verify per-block CRC32 checksums on the faulty disks.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    corruption_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_stall_ops: int = 2
+    dead_disk: int | None = None
+    dead_after: int = 0
+    dead_proc: int = 0
+    checksums: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_error_rate",
+            "write_error_rate",
+            "corruption_rate",
+            "latency_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"FaultPlan.{name} must be in [0, 1], got {rate}")
+        if self.latency_stall_ops < 0:
+            raise ValueError("FaultPlan.latency_stall_ops must be >= 0")
+        if self.dead_after < 0:
+            raise ValueError("FaultPlan.dead_after must be >= 0")
+        if self.dead_disk is not None and self.dead_disk < 0:
+            raise ValueError("FaultPlan.dead_disk must be a disk id >= 0")
+
+    def injector(self, proc: int = 0) -> "FaultInjector":
+        """Instantiate this plan for real processor ``proc``."""
+        return FaultInjector(self, proc)
+
+
+@dataclass
+class _AccessDraw:
+    """The injector's verdict for one disk access."""
+
+    die: bool = False
+    fail: bool = False
+    corrupt: bool = False
+    stall_ops: int = 0
+
+
+class FaultInjector:
+    """One :class:`FaultPlan` bound to one processor's disks.
+
+    Every disk gets its own :class:`random.Random` stream seeded from
+    ``(plan.seed, proc, disk_id)``, and every access draws the same number
+    of variates regardless of the configured rates — so fault sequences
+    are stable when rates change and identical across re-runs.
+    """
+
+    def __init__(self, plan: FaultPlan, proc: int = 0):
+        self.plan = plan
+        self.proc = proc
+        self.stats = FaultStats()
+        self._rngs: dict[int, random.Random] = {}
+        self._accesses: dict[int, int] = {}
+
+    def _rng(self, disk_id: int) -> random.Random:
+        rng = self._rngs.get(disk_id)
+        if rng is None:
+            mix = (self.plan.seed * 1_000_003 + self.proc) * 1_000_003 + disk_id
+            rng = self._rngs[disk_id] = random.Random(mix)
+        return rng
+
+    def draw(self, disk_id: int, kind: str) -> _AccessDraw:
+        """Decide the fate of one access (``kind`` is ``"read"``/``"write"``)."""
+        plan = self.plan
+        count = self._accesses.get(disk_id, 0) + 1
+        self._accesses[disk_id] = count
+        rng = self._rng(disk_id)
+        # Draw all variates unconditionally so the stream is rate-independent.
+        fail_r, corrupt_r, stall_r = rng.random(), rng.random(), rng.random()
+
+        draw = _AccessDraw()
+        if (
+            plan.dead_disk == disk_id
+            and plan.dead_proc == self.proc
+            and count > plan.dead_after
+        ):
+            draw.die = True
+            self.stats.disks_died += 1
+            return draw
+        if stall_r < plan.latency_rate:
+            draw.stall_ops = plan.latency_stall_ops
+            self.stats.latency_spikes += 1
+            self.stats.stall_ops += plan.latency_stall_ops
+        if kind == "read":
+            if fail_r < plan.read_error_rate:
+                draw.fail = True
+                self.stats.transient_read_errors += 1
+            elif corrupt_r < plan.corruption_rate:
+                draw.corrupt = True
+                self.stats.corruptions_injected += 1
+        else:
+            if fail_r < plan.write_error_rate:
+                draw.fail = True
+                self.stats.transient_write_errors += 1
+        return draw
+
+
+def block_checksum(block: Block) -> int:
+    """CRC32 over a block's payload and routing metadata."""
+    header = (
+        f"{block.dest},{block.src},{block.msg},{block.seq},{int(block.dummy)}|"
+    ).encode()
+    payload = block.records
+    if isinstance(payload, (bytes, bytearray)):
+        data = bytes(payload)
+    else:
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return zlib.crc32(header + data)
+
+
+def _corrupted_copy(block: Block) -> Block:
+    """A copy of ``block`` whose payload differs (a flipped medium bit)."""
+    payload = block.records
+    if isinstance(payload, (bytes, bytearray)):
+        data = bytes(payload)
+        bad = (bytes([data[0] ^ 0xFF]) + data[1:]) if data else b"\xff"
+    elif payload:
+        bad = ["\x00CORRUPT"] + list(payload[1:])
+    else:
+        bad = ["\x00CORRUPT"]
+    return Block(
+        records=bad,
+        dest=block.dest,
+        src=block.src,
+        msg=block.msg,
+        seq=block.seq,
+        dummy=block.dummy,
+    )
+
+
+class FaultyDisk(Disk):
+    """A :class:`Disk` whose accesses pass through a :class:`FaultInjector`.
+
+    The disk keeps a CRC32 checksum per written track (``checksums=True``
+    in the plan) and verifies it on every read, so injected corruption is
+    detected at the device boundary.  Failed accesses still count toward
+    the drive's access statistics (the attempt occupied the device).
+    """
+
+    def __init__(
+        self,
+        disk_id: int,
+        B: int,
+        ntracks: int | None = None,
+        injector: FaultInjector | None = None,
+    ):
+        super().__init__(disk_id, B, ntracks)
+        self.injector = injector
+        self.dead = False
+        self._sums: dict[int, int] = {}
+
+    @property
+    def checksums(self) -> bool:
+        return self.injector is None or self.injector.plan.checksums
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise PermanentDiskError(f"disk {self.disk_id}: drive is dead")
+
+    def _die(self) -> None:
+        self.dead = True
+
+    def read_track(self, track: int) -> Block | None:
+        self._check_track(track)
+        self._check_alive()
+        draw = self.injector.draw(self.disk_id, "read") if self.injector else None
+        if draw is not None:
+            if draw.die:
+                self._die()
+                raise PermanentDiskError(
+                    f"disk {self.disk_id}: drive died during read of track {track}"
+                )
+            if draw.fail:
+                self.reads += 1  # the failed attempt occupied the device
+                raise TransientDiskError(
+                    f"disk {self.disk_id}: transient read error at track {track}"
+                )
+        blk = super().read_track(track)
+        if blk is None:
+            return None
+        if draw is not None and draw.corrupt:
+            bad = _corrupted_copy(blk)
+            if self.checksums:
+                self.injector.stats.checksum_errors += 1
+                raise ChecksumError(
+                    f"disk {self.disk_id}: checksum mismatch at track {track} "
+                    "(corrupted block detected)"
+                )
+            return bad  # silent corruption: exactly what checksums prevent
+        if self.checksums:
+            expected = self._sums.get(track)
+            if expected is not None and block_checksum(blk) != expected:
+                if self.injector is not None:
+                    self.injector.stats.checksum_errors += 1
+                raise ChecksumError(
+                    f"disk {self.disk_id}: checksum mismatch at track {track}"
+                )
+        return blk
+
+    def write_track(self, track: int, block: Block | None) -> None:
+        self._check_track(track)
+        self._check_alive()
+        draw = self.injector.draw(self.disk_id, "write") if self.injector else None
+        if draw is not None:
+            if draw.die:
+                self._die()
+                raise PermanentDiskError(
+                    f"disk {self.disk_id}: drive died during write of track {track}"
+                )
+            if draw.fail:
+                self.writes += 1  # the failed attempt occupied the device
+                raise TransientDiskError(
+                    f"disk {self.disk_id}: transient write error at track {track}"
+                )
+        super().write_track(track, block)
+        if block is None:
+            self._sums.pop(track, None)
+        else:
+            self._sums[track] = block_checksum(block)

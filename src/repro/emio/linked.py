@@ -119,9 +119,16 @@ class LinkedBuckets:
 
         Returns the number of parallel I/O operations used
         (``ceil(len(blocks)/D)``).
+
+        In degraded mode (a dead drive, see
+        :meth:`repro.emio.diskarray.DiskArray.mark_dead`) cycles shrink to
+        the ``D-1`` surviving disks and the permutation ranges over those
+        only, so every bucket stays spread evenly over the drives that can
+        actually serve it — Lemma 2 balance at ``D-1``.
         """
         ops_before = self.array.parallel_ops
-        D = self.array.D
+        live = self.array.live_disks
+        D = len(live)
         for start in range(0, len(blocks), D):
             cycle = blocks[start : start + D]
             perm = list(range(D))
@@ -131,11 +138,11 @@ class LinkedBuckets:
             elif self.schedule == "random":
                 self.rng.shuffle(perm)
             elif self.schedule == "balance":
-                perm = self._balanced_assignment(cycle)
+                perm = self._balanced_assignment(cycle, live)
             self._cycle += 1
             writes = []
             for i, blk in enumerate(cycle):
-                disk = perm[i]
+                disk = live[perm[i]]
                 track = self._next_track(disk)
                 bucket = self.bucket_of(blk.dest)
                 if not (0 <= bucket < self.nbuckets):
@@ -148,24 +155,27 @@ class LinkedBuckets:
             self.blocks_written += len(cycle)
         return self.array.parallel_ops - ops_before
 
-    def _balanced_assignment(self, cycle: Sequence[Block]) -> list[int]:
+    def _balanced_assignment(
+        self, cycle: Sequence[Block], live: Sequence[int]
+    ) -> list[int]:
         """Deterministic least-loaded disk assignment for one write cycle.
 
         Greedy: process blocks in bucket order; each takes the still-free
         disk where its bucket's current load is smallest (ties to the lowest
         disk id).  For predetermined uniform traffic — the CGM case — this
         keeps every bucket's per-disk loads within 1 of each other, making
-        the whole simulation deterministic as the paper notes.
+        the whole simulation deterministic as the paper notes.  Returns
+        indices into ``live`` (the surviving drives).
         """
-        free = set(range(self.array.D))
+        free = set(range(len(live)))
         perm = [0] * len(cycle)
         order = sorted(range(len(cycle)), key=lambda i: self.bucket_of(cycle[i].dest))
         for i in order:
             bucket = self.bucket_of(cycle[i].dest)
             loads = self.table[bucket]
-            disk = min(free, key=lambda d: (len(loads[d]), d))
-            free.remove(disk)
-            perm[i] = disk
+            li = min(free, key=lambda j: (len(loads[live[j]]), live[j]))
+            free.remove(li)
+            perm[i] = li
         return perm
 
     # -- inspection --------------------------------------------------------------

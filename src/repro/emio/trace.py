@@ -8,6 +8,12 @@ one row per disk — which makes blocking and parallel-disk behaviour
 a serialized phase (e.g. the Sibeyn–Kaufmann baseline, or a static write
 schedule on adversarial traffic) shows as a single active row.
 
+The trace hooks the array's *physical attempt* layer, so retried operations
+(fault-injection runs, see :mod:`repro.emio.faults`) are recorded distinctly
+— rendered lowercase (``r``/``w``) and counted separately — and operations
+in degraded (``D-1``) mode show exactly the disks that physically
+participated, keeping :meth:`IOTrace.utilization` honest.
+
     array = DiskArray(D=4, B=32)
     trace = IOTrace.attach(array)
     ... run something ...
@@ -18,7 +24,6 @@ schedule on adversarial traffic) shows as a single active row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from .diskarray import DiskArray
 
@@ -32,6 +37,7 @@ class TraceOp:
     kind: str  # "R" or "W"
     disks: tuple[int, ...]
     tracks: tuple[int, ...]
+    retry: bool = False  # True for retry rounds masking a transient fault
 
 
 @dataclass
@@ -44,24 +50,26 @@ class IOTrace:
 
     @classmethod
     def attach(cls, array: DiskArray, limit: int = 100_000) -> "IOTrace":
-        """Wrap the array's parallel primitives to record every operation."""
+        """Wrap the array's physical-attempt primitives to record every
+        operation, including retry rounds."""
         trace = cls(D=array.D, limit=limit)
-        orig_read = array.parallel_read
-        orig_write = array.parallel_write
+        orig_read = array._attempt_read
+        orig_write = array._attempt_write
 
-        def traced_read(ops):
-            ops = list(ops)
-            if ops and len(trace.ops) < trace.limit:
+        def traced_read(addrs, retry=False):
+            addrs = list(addrs)
+            if addrs and len(trace.ops) < trace.limit:
                 trace.ops.append(
                     TraceOp(
                         "R",
-                        tuple(d for d, _t in ops),
-                        tuple(t for _d, t in ops),
+                        tuple(d for d, _t in addrs),
+                        tuple(t for _d, t in addrs),
+                        retry=retry,
                     )
                 )
-            return orig_read(ops)
+            return orig_read(addrs, retry=retry)
 
-        def traced_write(ops):
+        def traced_write(ops, retry=False):
             ops = list(ops)
             if ops and len(trace.ops) < trace.limit:
                 trace.ops.append(
@@ -69,19 +77,22 @@ class IOTrace:
                         "W",
                         tuple(d for d, _t, _b in ops),
                         tuple(t for _d, t, _b in ops),
+                        retry=retry,
                     )
                 )
-            return orig_write(ops)
+            return orig_write(ops, retry=retry)
 
-        array.parallel_read = traced_read  # type: ignore[method-assign]
-        array.parallel_write = traced_write  # type: ignore[method-assign]
+        array._attempt_read = traced_read  # type: ignore[method-assign]
+        array._attempt_write = traced_write  # type: ignore[method-assign]
         return trace
 
     # -- analysis -------------------------------------------------------------------
 
     def utilization(self) -> float:
         """Mean fraction of disks participating per operation (1.0 = fully
-        parallel; 1/D = serialized single-disk access)."""
+        parallel; 1/D = serialized single-disk access).  Retry rounds and
+        degraded-mode rounds count like any other operation: they occupy
+        the array while touching fewer disks."""
         if not self.ops:
             return 0.0
         return sum(len(op.disks) for op in self.ops) / (len(self.ops) * self.D)
@@ -92,6 +103,7 @@ class IOTrace:
             "ops": len(self.ops),
             "reads": reads,
             "writes": len(self.ops) - reads,
+            "retries": sum(1 for op in self.ops if op.retry),
             "disk_accesses": sum(len(op.disks) for op in self.ops),
             "utilization": self.utilization(),
         }
@@ -99,14 +111,15 @@ class IOTrace:
     def render(self, start: int = 0, width: int = 72) -> str:
         """ASCII timeline: rows = disks, columns = operations.
 
-        ``R``/``W`` marks a disk participating in a read/write operation,
-        ``.`` marks an idle disk.
+        ``R``/``W`` marks a disk participating in a read/write operation
+        (lowercase for retry rounds), ``.`` marks an idle disk.
         """
         window = self.ops[start : start + width]
         lines = []
         for d in range(self.D):
             row = "".join(
-                op.kind if d in op.disks else "." for op in window
+                (op.kind.lower() if op.retry else op.kind) if d in op.disks else "."
+                for op in window
             )
             lines.append(f"disk {d:>2} |{row}|")
         lines.append(

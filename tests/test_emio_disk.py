@@ -8,10 +8,10 @@ from repro.emio.diskarray import DiskArray
 
 class TestBlock:
     def test_nrecords_list(self):
-        assert Block(records=[1, 2, 3]).nrecords(8) == 3
+        assert Block(records=[1, 2, 3]).nrecords() == 3
 
     def test_nrecords_bytes_rounds_up(self):
-        assert Block(records=b"x" * 9).nrecords(8) == 2  # 9 bytes -> 2 records
+        assert Block(records=b"x" * 9).nrecords() == 2  # 9 bytes -> 2 records
 
     def test_validate_rejects_overfull(self):
         with pytest.raises(DiskError):

@@ -191,7 +191,6 @@ class TestSimulatorFacade:
     def test_engine_auto_selects(self):
         from tests.helpers import NoCommunication
 
-        alg = NoCommunication()
         machine = MachineParams(p=1, M=1 << 12, D=2, B=16, b=16)
         out, rep = simulate(NoCommunication(), machine, v=4)
         assert out == [1, 3, 5, 7]
@@ -223,3 +222,74 @@ class TestSimulatorFacade:
         machine = MachineParams(p=1, M=1 << 12, D=8, B=16, b=16)
         with pytest.raises(ParameterError, match="slackness"):
             simulate(NoCommunication(), machine, v=4, strict=True)
+
+
+class TestFaultPaths:
+    """Fault handling is part of the failure contract: transient faults are
+    masked, fatal faults either recover through a checkpoint or abort loudly
+    — and a detected corruption never degrades into silently wrong output."""
+
+    MACHINE = MachineParams(p=1, M=1 << 13, D=4, B=16, b=16)
+
+    def _baseline(self):
+        from tests.helpers import AllToAllExchange
+
+        out, _ = simulate(AllToAllExchange(), self.MACHINE, v=4, seed=1)
+        return out
+
+    def test_transient_fault_recovered_by_retry(self):
+        from repro.emio.faults import FaultPlan
+        from tests.helpers import AllToAllExchange
+
+        plan = FaultPlan(seed=0, read_error_rate=0.1, write_error_rate=0.1)
+        out, rep = simulate(
+            AllToAllExchange(), self.MACHINE, v=4, seed=1, faults=plan
+        )
+        assert out == self._baseline()
+        assert rep.faults.retry_ops > 0
+        assert rep.faults.recoveries == 0  # retries sufficed, no rollback
+
+    def test_permanent_fault_recovered_by_checkpoint(self):
+        from repro.emio.faults import FaultPlan
+        from tests.helpers import AllToAllExchange
+
+        plan = FaultPlan(seed=0, dead_disk=0, dead_after=25)
+        out, rep = simulate(
+            AllToAllExchange(), self.MACHINE, v=4, seed=1,
+            faults=plan, checkpoint=True,
+        )
+        assert out == self._baseline()
+        assert rep.faults.disks_died == 1
+        assert rep.faults.recoveries >= 1
+
+    def test_permanent_fault_without_checkpoint_aborts(self):
+        from repro.core.checkpoint import SimulationAborted
+        from repro.emio.faults import FaultPlan
+        from tests.helpers import AllToAllExchange
+
+        plan = FaultPlan(seed=0, dead_disk=0, dead_after=25)
+        with pytest.raises(SimulationAborted):
+            simulate(AllToAllExchange(), self.MACHINE, v=4, seed=1, faults=plan)
+
+    def test_corruption_raises_never_wrong_output(self):
+        """Every read of a corrupted block either retries into good data or
+        fails loudly; under heavy corruption the run may abort, but whenever
+        it completes the outputs are exact."""
+        from repro.core.checkpoint import SimulationAborted
+        from repro.emio.faults import FaultPlan
+        from tests.helpers import AllToAllExchange
+
+        baseline = self._baseline()
+        for seed in range(3):
+            plan = FaultPlan(seed=seed, corruption_rate=0.2)
+            try:
+                out, rep = simulate(
+                    AllToAllExchange(), self.MACHINE, v=4, seed=1,
+                    faults=plan, checkpoint=True,
+                )
+            except SimulationAborted:
+                continue  # loud failure is acceptable; silence is not
+            assert out == baseline
+            assert (
+                rep.faults.checksum_errors == rep.faults.corruptions_injected
+            )  # every injected corruption was detected

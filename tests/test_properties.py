@@ -78,7 +78,7 @@ def test_striped_region_roundtrip(sizes, D, data):
 def test_message_block_roundtrip(payload, B):
     msg = Message(src=3, dest=5, payload=payload)
     blocks = message_to_blocks(msg, B, msg_id=7)
-    assert all(b.nrecords(B) <= B for b in blocks)
+    assert all(b.nrecords() <= B for b in blocks)
     back = blocks_to_messages(blocks)
     assert len(back) == 1
     assert back[0].payload == payload and back[0].src == 3 and back[0].dest == 5

@@ -75,3 +75,61 @@ class TestIOTrace:
             array.parallel_write([(0, t, Block(records=[]))])
         assert len(trace.ops) == 3
         assert array.parallel_ops == 5  # counting unaffected
+
+
+class TestFaultTracing:
+    def test_retried_ops_recorded_distinctly(self):
+        """Retry rounds appear as separate trace entries with retry=True,
+        rendered lowercase, and counted in counts()['retries']."""
+        from repro.emio.faults import FaultPlan
+
+        plan = FaultPlan(seed=0, read_error_rate=0.5)
+        array = DiskArray(D=2, B=8, faults=plan)
+        trace = IOTrace.attach(array)
+        array.parallel_write([(0, 0, Block(records=[1])), (1, 0, Block(records=[2]))])
+        for _ in range(20):
+            got = array.parallel_read([(0, 0), (1, 0)])
+            assert [b.records for b in got] == [[1], [2]]
+        c = trace.counts()
+        assert c["retries"] > 0
+        assert array.retry_reads == c["retries"] - array.retry_writes
+        # Trace sees every physical attempt, not just logical operations.
+        assert c["ops"] == array.parallel_ops
+        retried = [op for op in trace.ops if op.retry]
+        assert all(op.kind in ("R", "W") for op in retried)
+        assert "r" in trace.render()  # lowercase marks the retry rounds
+
+    def test_fresh_and_retry_rounds_never_mixed(self):
+        from repro.emio.faults import FaultPlan
+
+        plan = FaultPlan(seed=1, read_error_rate=0.4, write_error_rate=0.4)
+        array = DiskArray(D=4, B=8, faults=plan)
+        trace = IOTrace.attach(array)
+        for t in range(10):
+            array.parallel_write([(d, t, Block(records=[d])) for d in range(4)])
+            array.parallel_read([(d, t) for d in range(4)])
+        # A retry round only re-touches disks whose access failed, so it can
+        # never be wider than the fresh round that spawned it.
+        for op in trace.ops:
+            if op.retry:
+                assert len(op.disks) <= 4
+
+    def test_utilization_in_degraded_mode(self):
+        """With one dead drive, a 4-slot logical write takes two physical
+        rounds over 3 survivors: utilization reflects the real occupancy."""
+        from repro.emio.faults import DataLossError, FaultPlan
+
+        import pytest
+
+        plan = FaultPlan(seed=0, dead_disk=3, dead_after=0)
+        array = DiskArray(D=4, B=8, faults=plan)
+        with pytest.raises(DataLossError):
+            array.parallel_read([(3, 0)])  # kills the drive
+        trace = IOTrace.attach(array)
+        array.parallel_write([(d, 1, Block(records=[d])) for d in range(4)])
+        # 4 logical targets on 3 survivors: one full round of 3 + one of 1.
+        assert len(trace.ops) == 2
+        assert sorted(len(op.disks) for op in trace.ops) == [1, 3]
+        assert trace.utilization() == (3 + 1) / (2 * 4)
+        for op in trace.ops:
+            assert 3 not in op.disks  # the dead drive never participates
