@@ -1,0 +1,258 @@
+"""Wall-clock benchmark trajectory for the simulation engines.
+
+Unlike the Table/Figure benchmarks (which measure *counted* model costs),
+this harness times the host-side wall clock of the engines across the
+performance knobs introduced by the fast path work:
+
+* ``seq_reference``   — sequential engine, reference data plane (the seed path)
+* ``seq_fast``        — sequential engine, ``fast_io=True, context_cache=True``
+* ``par_inline``      — parallel engine (p=4), inline backend, reference plane
+* ``par_fast_inline`` — parallel engine, inline backend, fast path
+* ``par_fast_process``— parallel engine, process backend, fast path
+
+For every workload the harness *asserts* that each engine's fast
+configurations report exactly the same parallel I/O operation count, packet
+count, and computation cost as that engine's reference configuration — the
+dual-accounting invariant (counted model costs are untouchable; only host
+time may change).  Results land in ``BENCH_PERF.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--out PATH]
+        [--check-regression BASELINE]
+
+``--check-regression`` compares wall times against a committed baseline JSON
+and prints warnings for >2x slowdowns; it exits 0 regardless (CI treats the
+job as a soft signal; counted-cost mismatches still exit 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.algorithms.graphs.listranking import CGMListRanking  # noqa: E402
+from repro.algorithms.permutation import CGMPermutation  # noqa: E402
+from repro.algorithms.sorting import CGMSampleSort  # noqa: E402
+from repro.core.simulator import build_params  # noqa: E402
+from repro.core.parsim import ParallelEMSimulation  # noqa: E402
+from repro.core.seqsim import SequentialEMSimulation  # noqa: E402
+from repro.params import MachineParams  # noqa: E402
+from repro.workloads import random_linked_list, random_permutation, uniform_keys  # noqa: E402
+
+SEED = 3
+
+#: (name, engine, engine kwargs) — the benchmark trajectory.
+CONFIGS = [
+    ("seq_reference", "sequential", {}),
+    ("seq_fast", "sequential", {"context_cache": True, "fast_io": True}),
+    ("par_inline", "parallel", {}),
+    ("par_fast_inline", "parallel", {"context_cache": True, "fast_io": True}),
+    (
+        "par_fast_process",
+        "parallel",
+        {"backend": "process", "context_cache": True, "fast_io": True},
+    ),
+]
+
+
+def _workloads(quick: bool) -> list[dict[str, Any]]:
+    """Workload descriptions; ``make(v)`` builds a fresh algorithm."""
+    if quick:
+        n_sort, n_perm, n_rank, v = 16384, 16384, 4096, 16
+    else:
+        n_sort, n_perm, n_rank, v = 131072, 65536, 16384, 32
+    return [
+        {
+            "name": "sort",
+            "n": n_sort,
+            "v": v,
+            "make": lambda n=n_sort, v=v: CGMSampleSort(
+                uniform_keys(n, seed=SEED), v=v
+            ),
+        },
+        {
+            "name": "permute",
+            "n": n_perm,
+            "v": v,
+            "make": lambda n=n_perm, v=v: CGMPermutation(
+                uniform_keys(n, seed=SEED), random_permutation(n, seed=SEED), v=v
+            ),
+        },
+        {
+            "name": "listrank",
+            "n": n_rank,
+            "v": v,
+            "make": lambda n=n_rank, v=v: CGMListRanking(
+                random_linked_list(n, seed=SEED), v=v
+            ),
+        },
+    ]
+
+
+def _run_config(name: str, engine: str, kwargs: dict, make, v: int) -> dict[str, Any]:
+    alg = make()
+    p = 4 if engine == "parallel" else 1
+    machine = MachineParams(p=p, M=1 << 20, D=4, B=32, b=64)
+    params = build_params(alg, machine, v=v)
+    cls = SequentialEMSimulation if engine == "sequential" else ParallelEMSimulation
+    sim = cls(alg, params, seed=SEED, **kwargs)
+    t0 = time.perf_counter()
+    outputs, report = sim.run()
+    wall = time.perf_counter() - t0
+    led = report.ledger
+    ratios = [
+        s.routing.max_load_ratio for s in report.supersteps if s.routing is not None
+    ]
+    return {
+        "wall_s": round(wall, 4),
+        "io_ops": led.total_io_ops,
+        "comm_packets": led.total_comm_packets,
+        "comp_ops": led.total_comp,
+        "records_io": led.total_records_io,
+        "supersteps": len(report.supersteps),
+        "lemma2_max_load_ratio": round(max(ratios), 4) if ratios else None,
+        "outputs_digest": hash(repr(outputs)) & 0xFFFFFFFF,
+    }
+
+
+COUNTED = ("io_ops", "comm_packets", "comp_ops", "records_io", "outputs_digest")
+
+
+def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
+    results: dict[str, Any] = {
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count(),
+        },
+        "machine_params": {"D": 4, "B": 32, "b": 64, "M": 1 << 20},
+        "workloads": {},
+    }
+    violations: list[str] = []
+    for wl in _workloads(quick):
+        name, v = wl["name"], wl["v"]
+        print(f"== {name} (n={wl['n']}, v={v}) ==")
+        configs: dict[str, Any] = {}
+        for cname, engine, kwargs in CONFIGS:
+            r = _run_config(cname, engine, kwargs, wl["make"], v)
+            configs[cname] = r
+            print(
+                f"  {cname:17s} wall={r['wall_s']:8.3f}s  io={r['io_ops']:7d}  "
+                f"comm={r['comm_packets']:6d}  comp={r['comp_ops']:.3g}"
+            )
+        # Dual-accounting invariant: fast configs must count exactly like
+        # their engine's reference config.
+        for fast, ref in [
+            ("seq_fast", "seq_reference"),
+            ("par_fast_inline", "par_inline"),
+            ("par_fast_process", "par_inline"),
+        ]:
+            for kct in COUNTED:
+                if configs[fast][kct] != configs[ref][kct]:
+                    violations.append(
+                        f"{name}: {fast}.{kct}={configs[fast][kct]} != "
+                        f"{ref}.{kct}={configs[ref][kct]}"
+                    )
+        entry = {
+            "n": wl["n"],
+            "v": v,
+            "configs": configs,
+            "speedup_seq_fast": round(
+                configs["seq_reference"]["wall_s"] / configs["seq_fast"]["wall_s"], 3
+            ),
+            "speedup_par_fast_inline": round(
+                configs["par_inline"]["wall_s"] / configs["par_fast_inline"]["wall_s"],
+                3,
+            ),
+            "speedup_par_fast_process": round(
+                configs["par_inline"]["wall_s"] / configs["par_fast_process"]["wall_s"],
+                3,
+            ),
+        }
+        print(
+            f"  speedups: seq_fast={entry['speedup_seq_fast']}x  "
+            f"par_fast_inline={entry['speedup_par_fast_inline']}x  "
+            f"par_fast_process={entry['speedup_par_fast_process']}x"
+        )
+        results["workloads"][name] = entry
+    sort_entry = results["workloads"]["sort"]
+    results["headline"] = {
+        "workload": "sort",
+        "config": "seq_fast vs seq_reference",
+        "speedup": sort_entry["speedup_seq_fast"],
+    }
+    results["counted_cost_violations"] = violations
+    return results, violations
+
+
+def check_regression(results: dict[str, Any], baseline_path: str) -> None:
+    """Soft regression check: warn (never fail) on >2x wall-clock slowdowns."""
+    if not os.path.exists(baseline_path):
+        print(f"[regression] no baseline at {baseline_path}; skipping")
+        return
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    if base.get("quick") != results.get("quick"):
+        print("[regression] baseline ran a different mode; comparing anyway")
+    warned = False
+    for wname, wl in results["workloads"].items():
+        bwl = base.get("workloads", {}).get(wname)
+        if not bwl:
+            continue
+        for cname, cfg in wl["configs"].items():
+            bcfg = bwl.get("configs", {}).get(cname)
+            if not bcfg or not bcfg.get("wall_s"):
+                continue
+            ratio = cfg["wall_s"] / bcfg["wall_s"]
+            if ratio > 2.0:
+                warned = True
+                print(
+                    f"::warning::perf regression {wname}/{cname}: "
+                    f"{cfg['wall_s']}s vs baseline {bcfg['wall_s']}s ({ratio:.2f}x)"
+                )
+    if not warned:
+        print("[regression] within 2x of baseline on every config")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small inputs (CI smoke)")
+    ap.add_argument("--out", default="BENCH_PERF.json", help="output JSON path")
+    ap.add_argument(
+        "--check-regression",
+        metavar="BASELINE",
+        default=None,
+        help="compare wall times against a baseline BENCH_PERF.json (soft)",
+    )
+    args = ap.parse_args(argv)
+
+    results, violations = run_suite(args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    print(f"headline: sort seq fast-path speedup = {results['headline']['speedup']}x")
+
+    if args.check_regression:
+        check_regression(results, args.check_regression)
+    if violations:
+        print("\nCOUNTED-COST VIOLATIONS (the fast path broke the model):")
+        for vline in violations:
+            print(f"  {vline}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

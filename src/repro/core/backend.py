@@ -1,0 +1,154 @@
+"""Execution backends for the parallel engine's real processors.
+
+Algorithm 3 prescribes *what* each of the ``p`` real processors does per
+phase; a backend decides *where* that work physically runs:
+
+* :class:`InlineBackend` — the default and the reference: processors are
+  plain objects called in index order inside the engine's own process.
+  Fully deterministic and trivially debuggable.
+* :class:`ProcessBackend` — each real processor lives in its own worker
+  process (``multiprocessing``, fork-preferred) and owns its disk array,
+  context store, RNG stream, and fault stream there.  The engine drives the
+  same phase protocol over pipes; the superstep barriers of the model map
+  onto the send-all/receive-all message rounds, which exchange packed
+  message payloads and per-worker ledger deltas.
+
+Both backends execute the identical per-processor code
+(:class:`~repro.core.parsim._RealProcessor`) with identical per-processor
+RNG streams, so counted model costs, outputs, and reports are equal between
+them — the golden equivalence suite asserts this.  On a multi-core host the
+process backend overlaps the processors' computation and (host-side)
+I/O work, which is exactly the parallelism the EM-BSP machine model assumes.
+
+The protocol is a command loop: the engine calls ``call_all(method, args)``;
+workers answer ``("ok", result)`` or ``("err", exception)``.  Errors are
+collected only after *every* worker has answered the round — the workers
+stay alive and consistent, so a fatal injected I/O fault on one processor
+can roll all of them back to the last superstep barrier, mirroring the
+inline engine's recovery semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Sequence
+
+__all__ = ["InlineBackend", "ProcessBackend", "make_backend"]
+
+
+class InlineBackend:
+    """Run the real processors in-process, in index order (the reference)."""
+
+    name = "inline"
+
+    def __init__(self, procs: Sequence[Any]):
+        self.procs = list(procs)
+
+    def call_all(self, method: str, args_list: Sequence[tuple] | None = None) -> list:
+        if args_list is None:
+            args_list = [()] * len(self.procs)
+        return [getattr(pr, method)(*args) for pr, args in zip(self.procs, args_list)]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, init_args: tuple) -> None:
+    """Command loop of one worker process: owns one ``_RealProcessor``."""
+    from .parsim import _RealProcessor
+
+    try:
+        proc = _RealProcessor(*init_args)
+        conn.send(("ok", None))
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        conn.send(("err", exc))
+        conn.close()
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        method, args = msg
+        try:
+            conn.send(("ok", getattr(proc, method)(*args)))
+        except BaseException as exc:  # noqa: BLE001 - must reach the parent
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                conn.send(("err", RuntimeError(f"unpicklable worker error: {exc!r}")))
+    conn.close()
+
+
+class ProcessBackend:
+    """One worker process per real processor, driven over duplex pipes."""
+
+    name = "process"
+
+    def __init__(self, init_args_list: Sequence[tuple]):
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._conns = []
+        self._workers = []
+        for init_args in init_args_list:
+            parent, child = ctx.Pipe()
+            worker = ctx.Process(
+                target=_worker_main, args=(child, init_args), daemon=True
+            )
+            worker.start()
+            child.close()
+            self._conns.append(parent)
+            self._workers.append(worker)
+        # Startup barrier: every worker reports its processor constructed.
+        self._recv_all()
+
+    def _recv_all(self) -> list:
+        results: list = []
+        first_err: BaseException | None = None
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status == "err":
+                results.append(None)
+                if first_err is None:
+                    first_err = payload
+            else:
+                results.append(payload)
+        if first_err is not None:
+            # All workers have answered the round (they are idle and
+            # consistent at the barrier), so recovery can roll them back.
+            raise first_err
+        return results
+
+    def call_all(self, method: str, args_list: Sequence[tuple] | None = None) -> list:
+        if args_list is None:
+            args_list = [()] * len(self._conns)
+        for conn, args in zip(self._conns, args_list):
+            conn.send((method, args))
+        return self._recv_all()
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+            conn.close()
+        for worker in self._workers:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+        self._conns = []
+        self._workers = []
+
+
+def make_backend(kind: str, init_args_list: Sequence[tuple]):
+    """Build the backend named ``kind`` over per-processor init tuples."""
+    if kind == "inline":
+        from .parsim import _RealProcessor
+
+        return InlineBackend([_RealProcessor(*args) for args in init_args_list])
+    if kind == "process":
+        return ProcessBackend(init_args_list)
+    raise ValueError(f"unknown backend {kind!r} (expected 'inline' or 'process')")

@@ -10,10 +10,23 @@ per record), and stored in the preallocated :class:`ConsecutiveRegion`.  The
 declared bound ``mu`` is enforced on every save: an algorithm whose state
 outgrows its declaration fails loudly instead of silently breaking the space
 accounting.
+
+**Context-swap fast path** (``cache=True``): the store keeps the pickled
+bytes of every slot host-side together with a dirty bit (the fresh pickle is
+compared against the cached bytes).  On the disk array's fast data plane a
+swap then charges the *identical* parallel I/O the reference path would — via
+:meth:`~repro.emio.diskarray.DiskArray.charge_batched`, which replays the
+exact greedy round packing arithmetic — without re-materializing ``Block``
+objects; loads unpickle straight from the cached bytes.  On a traced array
+the physical path runs unchanged (traces stay byte-identical), and the cache
+is refused entirely on a fault-injecting array, where the disk image is
+authoritative (corruption must be observable).  The model-cost ledger is
+byte-identical either way; only host wall-clock changes.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Sequence
 
 from ..emio.disk import DiskError
@@ -22,6 +35,8 @@ from ..emio.layout import (
     ConsecutiveRegion,
     RegionAllocator,
     blocks_to_object,
+    bytes_to_blocks,
+    check_context_bound,
     pickle_to_blocks,
 )
 
@@ -42,6 +57,10 @@ class ContextStore:
         Declared maximum context size in records.
     B:
         Disk block size in records.
+    cache:
+        Enable the context-swap fast path (see module docstring).  Silently
+        disabled when the array injects faults — there the on-disk image is
+        authoritative and corruption must be observable.
     """
 
     def __init__(
@@ -52,6 +71,7 @@ class ContextStore:
         mu: int,
         B: int,
         name: str = "contexts",
+        cache: bool = False,
     ):
         self.mu = mu
         self.B = B
@@ -65,6 +85,8 @@ class ContextStore:
         # currently used prefix is transferred — the metadata is one integer
         # per virtual processor, like the bucket pointer tables.
         self._used = [0] * nslots
+        self.cache = bool(cache) and array.injector is None
+        self._cached: list[bytes | None] = [None] * nslots
 
     @property
     def tracks_per_disk(self) -> int:
@@ -78,25 +100,85 @@ class ContextStore:
         """Read and unpickle one context."""
         return self.load_group([slot])[0]
 
+    def invalidate_cache(self) -> None:
+        """Drop all cached context bytes (next loads hit the disk image)."""
+        self._cached = [None] * self.nslots
+
+    def _slot_addrs(self, slots: Sequence[int], counts: Sequence[int]):
+        """(disk, track) addresses of the used prefixes of ``slots``.
+
+        Equivalent to ``region.addr(slot, i)`` over the prefixes but without
+        the per-block bounds checking (slots and counts are already
+        validated by the callers).
+        """
+        D = self.array.D
+        base = self.region.base
+        offs = self.region.offsets
+        addrs: list[tuple[int, int]] = []
+        for slot, n in zip(slots, counts):
+            q0 = offs[slot]
+            addrs.extend(((q0 + i) % D, base + (q0 + i) // D) for i in range(n))
+        return addrs
+
     def save_group(self, slots: Sequence[int], states: Sequence[Any]) -> None:
         """Write a whole group of contexts with jointly packed parallel ops."""
-        ops: list = []
-        for slot, state in zip(slots, states):
-            blocks = pickle_to_blocks(state, self.B, max_records=self.mu)
-            if len(blocks) > self.blocks_per_context:
-                raise DiskError(  # pragma: no cover - pickle_to_blocks guards
-                    f"context of slot {slot} exceeds its preallocated area"
+        if not self.cache:
+            ops: list = []
+            for slot, state in zip(slots, states):
+                blocks = pickle_to_blocks(state, self.B, max_records=self.mu)
+                if len(blocks) > self.blocks_per_context:
+                    raise DiskError(  # pragma: no cover - pickle_to_blocks guards
+                        f"context of slot {slot} exceeds its preallocated area"
+                    )
+                self._used[slot] = len(blocks)
+                ops.extend(
+                    (*self.region.addr(slot, i), blk) for i, blk in enumerate(blocks)
                 )
-            self._used[slot] = len(blocks)
-            ops.extend(
-                (*self.region.addr(slot, i), blk) for i, blk in enumerate(blocks)
-            )
-        self.array.write_batched(ops)
+            self.array.write_batched(ops)
+            return
+
+        chunk = self.B * 8  # bytes per block (Block.BYTES_PER_RECORD)
+        counts: list[int] = []
+        blobs: list[bytes] = []
+        for slot, state in zip(slots, states):
+            data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            check_context_bound(data, self.mu)
+            blobs.append(data)
+            counts.append(-(-max(len(data), 1) // chunk))
+        if self.array.fast_data_plane:
+            # Clean and dirty slots alike charge the identical merged write
+            # the reference path performs — the dirty bit only decides
+            # whether the cached bytes need replacing.
+            self.array.charge_batched("W", self._slot_addrs(slots, counts))
+            for slot, data, n in zip(slots, blobs, counts):
+                self._used[slot] = n
+                if self._cached[slot] != data:
+                    self._cached[slot] = data
+        else:
+            # Physical path (e.g. a traced array): materialize and write the
+            # blocks exactly as the reference path would.
+            ops = []
+            for slot, data, n in zip(slots, blobs, counts):
+                self._used[slot] = n
+                self._cached[slot] = data
+                ops.extend(
+                    (*self.region.addr(slot, i), blk)
+                    for i, blk in enumerate(bytes_to_blocks(data, self.B))
+                )
+            self.array.write_batched(ops)
 
     def load_group(self, slots: Sequence[int]) -> list[Any]:
         """Read a whole group of contexts with jointly packed parallel ops."""
-        addrs: list[tuple[int, int]] = []
-        counts: list[int] = []
+        if self.cache and all(self._cached[s] is not None for s in slots):
+            counts = [self._used[s] for s in slots]
+            addrs = self._slot_addrs(slots, counts)
+            if self.array.fast_data_plane:
+                self.array.charge_batched("R", addrs)
+            else:
+                self.array.read_batched(addrs)  # physical read; data == cache
+            return [pickle.loads(self._cached[s]) for s in slots]
+        addrs = []
+        counts = []
         for slot in slots:
             counts.append(self._used[slot])
             addrs.extend(self.region.addr(slot, i) for i in range(self._used[slot]))
@@ -127,11 +209,17 @@ class ContextStore:
         return out
 
     def import_all(self, states: Sequence[Any], group_size: int | None = None) -> None:
-        """Rewrite every context from ``states`` (restore path)."""
+        """Rewrite every context from ``states`` (restore path).
+
+        The cache is invalidated first: a restore replaces every slot, so
+        stale bytes must never survive it (save_group then re-caches the
+        restored pickles, keeping the fast path hot across a recovery).
+        """
         if len(states) != self.nslots:
             raise DiskError(
                 f"restore of {len(states)} contexts into {self.nslots} slots"
             )
+        self.invalidate_cache()
         g = group_size or self.nslots
         for base in range(0, self.nslots, g):
             hi = min(base + g, self.nslots)

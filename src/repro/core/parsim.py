@@ -26,11 +26,17 @@ After the last round, Step 2 runs Algorithm 2 (`simulate_routing`) locally on
 every processor, producing per-batch standard-consecutive regions for the
 next compound superstep.
 
-The simulation is executed single-threaded (processors are simulated in a
-deterministic order within each phase) but all costs are accounted as the
-model prescribes: per phase the *maximum* over processors of computation,
-packets, and parallel I/O operations, plus the barrier cost ``L`` per
-h-relation.
+**Backends** (see :mod:`repro.core.backend`): the per-processor work lives in
+:class:`_RealProcessor`, whose phase methods are driven through a backend —
+``"inline"`` (default, the reference) calls them in index order in-process;
+``"process"`` runs each processor in its own ``multiprocessing`` worker, the
+superstep barriers becoming send-all/receive-all pipe rounds that exchange
+packed message payloads and per-worker ledger deltas.  Every processor draws
+from its own deterministic RNG stream (seeded ``{seed}/proc{i}``), so both
+backends produce identical outputs, ledgers, and reports.  All costs are
+accounted as the model prescribes regardless of backend: per phase the
+*maximum* over processors of computation, packets, and parallel I/O
+operations, plus the barrier cost ``L`` per h-relation.
 
 Robustness: the same ``faults``/``retry``/``checkpoint`` knobs as the
 sequential engine (see :mod:`repro.core.seqsim` and
@@ -38,7 +44,9 @@ sequential engine (see :mod:`repro.core.seqsim` and
 ``FaultPlan``'s ``dead_proc`` selects which real processor's drive dies.  A
 fatal fault on *any* processor rolls every processor back to the last
 compound-superstep barrier, because the barrier is the only globally
-consistent cut of the distributed state.
+consistent cut of the distributed state (the process backend reports a
+worker's fault only after the whole barrier round completes, so the rollback
+reaches every worker in a consistent state).
 """
 
 from __future__ import annotations
@@ -60,6 +68,7 @@ from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..params import ParameterError, SimulationParams
+from .backend import make_backend
 from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
 from .context import ContextStore
 from .routing import RoutingStats, simulate_routing
@@ -69,27 +78,78 @@ __all__ = ["ParallelEMSimulation"]
 
 
 class _RealProcessor:
-    """Per-processor simulation state: disks, contexts, bucket store."""
+    """One real processor: disks, contexts, bucket store, and phase methods.
 
-    def __init__(self, index: int, sim: "ParallelEMSimulation"):
+    Self-contained and picklable-by-construction (built from its init tuple
+    inside a worker when the process backend is used).  Every method takes
+    and returns plain picklable values plus this processor's parallel-I/O
+    delta, so the engine can do the model's max-over-processors accounting
+    identically for every backend.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        algorithm: BSPAlgorithm,
+        params: SimulationParams,
+        seed: int,
+        write_schedule: str,
+        faults: FaultPlan | None,
+        retry: RetryPolicy | None,
+        enforce_gamma: bool,
+        context_cache: bool,
+        fast_io: bool,
+    ):
         self.index = index
-        self.sim = sim
-        m = sim.params.machine
+        self.algorithm = algorithm
+        self.params = params
+        m, s = params.machine, params.bsp
+        self.p = m.p
+        self.v = s.v
+        self.k = params.k
+        self.vpp = s.v // m.p
+        self.nbatches = self.vpp // self.k
+        self.gamma = algorithm.comm_bound() if enforce_gamma else None
+        self.write_schedule = write_schedule
+        # Per-processor deterministic RNG stream: identical across backends,
+        # independent across processors (no cross-processor draw ordering).
+        self.rng = random.Random(f"{seed}/proc{index}")
         self.array = DiskArray(
-            m.D, m.B, faults=sim.faults, retry=sim.retry, proc=index
+            m.D, m.B, faults=faults, retry=retry, proc=index, fast_io=fast_io
         )
         self.allocator = RegionAllocator(self.array)
         self.contexts = ContextStore(
             self.array,
             self.allocator,
-            sim.vpp,
-            sim.params.bsp.mu,
+            self.vpp,
+            s.mu,
             m.B,
             name=f"ctx@p{index}",
+            cache=context_cache,
         )
         self.incoming: StripedRegion | None = None
         self.buckets: LinkedBuckets | None = None
         self.io_marker = 0
+
+    # -- placement (local views of the engine's maps) --------------------------
+
+    def owner_of_vp(self, vp: int) -> int:
+        return vp // self.vpp
+
+    def batch_of_vp(self, vp: int) -> int:
+        return (vp % self.vpp) // self.k
+
+    def bucket_of_vp(self, vp: int) -> int:
+        return self.batch_of_vp(vp) * self.params.machine.D // self.nbatches
+
+    def round_vps(self, j: int) -> list[int]:
+        base = self.index * self.vpp + j * self.k
+        return list(range(base, base + self.k))
+
+    def _round_slots(self, j: int) -> list[int]:
+        return list(range(j * self.k, (j + 1) * self.k))
+
+    # -- bookkeeping ------------------------------------------------------------
 
     def io_delta(self) -> int:
         d = self.array.parallel_ops - self.io_marker
@@ -100,16 +160,198 @@ class _RealProcessor:
         inj = self.array.injector
         return self.array.stall_ops + (inj.stats.stall_ops if inj else 0)
 
-    def new_buckets(self) -> None:
-        sim = self.sim
+    # -- phase protocol (driven by the engine through a backend) ----------------
+
+    def load_input(self) -> int:
+        alg = self.algorithm
+        for j in range(self.nbatches):
+            vps = self.round_vps(j)
+            states = [alg.initial_state(vp, self.v) for vp in vps]
+            self.contexts.save_group(self._round_slots(j), states)
+        return self.io_delta()
+
+    def begin_superstep(self) -> tuple[int, int]:
+        """Open a compound superstep; returns (retry_ops, stall_ops) marks."""
         self.buckets = LinkedBuckets(
             self.array,
             self.allocator,
-            nbuckets=sim.params.machine.D,
-            bucket_of=sim.bucket_of_vp,
-            rng=sim.rng,
-            schedule=sim.write_schedule,
+            nbuckets=self.params.machine.D,
+            bucket_of=self.bucket_of_vp,
+            rng=self.rng,
+            schedule=self.write_schedule,
         )
+        return self.array.retry_ops, self.stall_total()
+
+    def fetch(self, j: int) -> tuple[dict[int, list[Block]], int]:
+        """Step 1(a): read batch ``j``'s blocks, grouped by owning processor."""
+        if self.incoming is not None:
+            blks = [
+                blk
+                for blk in self.incoming.read_slot(j)
+                if blk is not None and not blk.dummy
+            ]
+        else:
+            blks = []
+        by_owner: dict[int, list[Block]] = {}
+        for blk in blks:
+            by_owner.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
+        return by_owner, self.io_delta()
+
+    def compute(self, j: int, step: int, inbound: list[Block]) -> dict[str, Any]:
+        """Step 1(b): run batch ``j``'s ``k`` virtual supersteps.
+
+        Returns the scatter packets as ``(random target, packet)`` pairs in
+        draw order, plus this processor's cost contributions and the context
+        fetch/save I/O deltas.
+        """
+        alg = self.algorithm
+        m = self.params.machine
+        gamma = self.gamma
+        vps = self.round_vps(j)
+        per_vp_blocks: dict[int, list[Block]] = {vp: [] for vp in vps}
+        for blk in inbound:
+            per_vp_blocks[blk.dest].append(blk)
+
+        states = self.contexts.load_group(self._round_slots(j))
+        fetch_io = self.io_delta()
+
+        new_states: list[Any] = []
+        packets: list[tuple[int, Packet]] = []
+        comp = 0.0
+        sent_records = 0
+        halted = True
+        for vp, state in zip(vps, states):
+            msgs = blocks_to_messages(per_vp_blocks[vp])
+            if gamma is not None:
+                nrecv = sum(msg.size for msg in msgs)
+                if nrecv > gamma:
+                    raise AlgorithmError(
+                        f"vp {vp} received {nrecv} records in "
+                        f"superstep {step}, exceeding gamma={gamma}"
+                    )
+            ctx = VPContext(vp, self.v, step, state, msgs, comm_bound=gamma)
+            alg.superstep(ctx)
+            new_states.append(ctx.state)
+            if not ctx.halted:
+                halted = False
+            comp += ctx.comp_ops
+            sent_records += ctx.sent_records
+            for mi, msg in enumerate(ctx.outbox):
+                for pkt in message_to_packets(msg, m.b, mi):
+                    packets.append((self.rng.randrange(self.p), pkt))
+        self.contexts.save_group(self._round_slots(j), new_states)
+        save_io = self.io_delta()
+        return {
+            "packets": packets,
+            "comp": comp,
+            "sent_records": sent_records,
+            "halted": halted,
+            "fetch_io": fetch_io,
+            "save_io": save_io,
+        }
+
+    def write(self, j: int, packets: list[Packet]) -> tuple[int, int]:
+        """Step 1(c): cut received packets into blocks, append to buckets."""
+        m = self.params.machine
+        rblocks: list[Block] = []
+        for pkt in packets:
+            rblocks.extend(packet_to_blocks(pkt, m.B))
+        self.buckets.append_blocks(rblocks)
+        return len(rblocks), self.io_delta()
+
+    def reorganize(self, step: int) -> tuple[RoutingStats, int]:
+        """Step 2: Algorithm 2 on the local buckets."""
+        new_incoming, routing = simulate_routing(
+            self.array,
+            self.allocator,
+            self.buckets,
+            nslots=self.nbatches,
+            slot_of=self.batch_of_vp,
+            name=f"incoming@p{self.index}s{step + 1}",
+        )
+        self.buckets.free()
+        self.buckets = None
+        if self.incoming is not None:
+            self.incoming.free()
+        self.incoming = new_incoming
+        return routing, self.io_delta()
+
+    def end_superstep(self) -> tuple[int, int]:
+        return self.array.retry_ops, self.stall_total()
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def export_checkpoint(
+        self, group_size: int
+    ) -> tuple[bytes, bytes | None, Any, set[int], int]:
+        state_blob = freeze(self.contexts.export_all(group_size=group_size))
+        if self.incoming is not None:
+            blocks = self.incoming.read_slots(range(self.incoming.nslots))
+            inc_blob = freeze((self.incoming.slot_sizes, blocks))
+        else:
+            inc_blob = None
+        return (
+            state_blob,
+            inc_blob,
+            self.rng.getstate(),
+            set(self.array.dead_disks),
+            self.io_delta(),
+        )
+
+    def restore_checkpoint(
+        self, state_blob: bytes, inc_blob: bytes | None, rng_state: Any, step: int
+    ) -> int:
+        if self.buckets is not None:
+            self.buckets.free()
+            self.buckets = None
+        if self.incoming is not None:
+            self.incoming.free()
+            self.incoming = None
+        if rng_state is not None:
+            self.rng.setstate(rng_state)
+        self.contexts.import_all(thaw(state_blob), group_size=self.k)
+        if inc_blob is not None:
+            slot_sizes, blocks = thaw(inc_blob)
+            region = StripedRegion(
+                self.array,
+                self.allocator,
+                slot_sizes,
+                name=f"incoming@p{self.index}resume{step}",
+            )
+            region.write_slots(range(region.nslots), blocks)
+            self.incoming = region
+        return self.io_delta()
+
+    # -- wrap-up -----------------------------------------------------------------
+
+    def collect_outputs(self) -> tuple[dict[int, Any], int, int]:
+        alg = self.algorithm
+        outs: dict[int, Any] = {}
+        for j in range(self.nbatches):
+            vps = self.round_vps(j)
+            for vp, state in zip(vps, self.contexts.load_group(self._round_slots(j))):
+                outs[vp] = alg.output(vp, state)
+        return outs, self.io_delta(), self.allocator.high_water
+
+    def fault_stats(self) -> dict[str, int]:
+        out = {
+            "retry_reads": self.array.retry_reads,
+            "retry_writes": self.array.retry_writes,
+            "stall_ops": self.stall_total(),
+            "degraded_writes": self.array.degraded_writes,
+        }
+        inj = self.array.injector
+        if inj is not None:
+            s = inj.stats
+            out.update(
+                transient_read_errors=s.transient_read_errors,
+                transient_write_errors=s.transient_write_errors,
+                corruptions_injected=s.corruptions_injected,
+                checksum_errors=s.checksum_errors,
+                latency_spikes=s.latency_spikes,
+                disks_died=s.disks_died,
+            )
+        return out
 
 
 class ParallelEMSimulation:
@@ -121,6 +363,19 @@ class ParallelEMSimulation:
 
     ``faults``, ``retry``, ``checkpoint``, ``max_recoveries`` mirror the
     sequential engine; see :class:`SequentialEMSimulation` for semantics.
+
+    Parameters
+    ----------
+    backend:
+        ``"inline"`` (default, the reference) simulates the real processors
+        in-process; ``"process"`` runs each on its own ``multiprocessing``
+        worker.  Outputs, ledgers, and reports are identical — see
+        :mod:`repro.core.backend`.
+    context_cache:
+        Context-swap fast path (see :class:`~repro.core.context.ContextStore`).
+    fast_io:
+        Counted-cost-identical short-circuits in each processor's disk array
+        (see :class:`~repro.emio.diskarray.DiskArray`).
     """
 
     def __init__(
@@ -135,10 +390,13 @@ class ParallelEMSimulation:
         retry: RetryPolicy | None = None,
         checkpoint: bool = False,
         max_recoveries: int = 8,
+        backend: str = "inline",
+        context_cache: bool = False,
+        fast_io: bool = False,
     ):
         self.algorithm = algorithm
         self.params = params
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.enforce_gamma = enforce_gamma
         self.write_schedule = write_schedule or (
             "rotate" if round_robin_writes else "random"
@@ -156,8 +414,26 @@ class ParallelEMSimulation:
         self.nbatches = self.vpp // self.k  # rounds per compound superstep
         self.ledger = CostLedger(m)
         self.report = SimulationReport(params=params, ledger=self.ledger)
-        self.procs = [_RealProcessor(i, self) for i in range(self.p)]
         self.gamma = algorithm.comm_bound() if enforce_gamma else None
+
+        init_args = [
+            (
+                i,
+                algorithm,
+                params,
+                seed,
+                self.write_schedule,
+                faults,
+                retry,
+                enforce_gamma,
+                context_cache,
+                fast_io,
+            )
+            for i in range(self.p)
+        ]
+        self.backend = make_backend(backend, init_args)
+        # Inline processors stay inspectable (tests, notebooks).
+        self.procs = getattr(self.backend, "procs", None)
 
         self.last_checkpoint: SuperstepCheckpoint | None = None
         self._recoveries = 0
@@ -193,11 +469,14 @@ class ParallelEMSimulation:
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
-        self._load_input()
-        if self.checkpoint_enabled:
-            self._guarded_checkpoint(0)
-        self._run_from(0)
-        return self._finish()
+        try:
+            self._load_input()
+            if self.checkpoint_enabled:
+                self._guarded_checkpoint(0)
+            self._run_from(0)
+            return self._finish()
+        finally:
+            self.backend.close()
 
     def resume_from_checkpoint(
         self, ckpt: SuperstepCheckpoint
@@ -208,23 +487,19 @@ class ParallelEMSimulation:
             raise ParameterError(
                 f"checkpoint holds {ckpt.nprocs} processors, machine has {self.p}"
             )
-        self._resumed_from = ckpt.step
-        self.last_checkpoint = ckpt
-        self._restore(ckpt)
-        self._run_from(ckpt.step)
-        return self._finish()
+        try:
+            self._resumed_from = ckpt.step
+            self.last_checkpoint = ckpt
+            self._restore(ckpt)
+            self._run_from(ckpt.step)
+            return self._finish()
+        finally:
+            self.backend.close()
 
     # -- run skeleton ---------------------------------------------------------------
 
     def _load_input(self) -> None:
-        alg = self.algorithm
-        for pr in self.procs:
-            for j in range(self.nbatches):
-                vps = self.round_vps(pr.index, j)
-                states = [alg.initial_state(vp, self.v) for vp in vps]
-                local = [vp - pr.index * self.vpp for vp in vps]
-                pr.contexts.save_group(local, states)
-        self.report.init_io_ops = max(pr.io_delta() for pr in self.procs)
+        self.report.init_io_ops = max(self.backend.call_all("load_input"))
 
     def _run_from(self, start: int) -> None:
         step = start
@@ -275,190 +550,110 @@ class ParallelEMSimulation:
     def _take_checkpoint(self, step: int) -> None:
         """Snapshot every processor's barrier state (charged as local reads;
         the model cost is the maximum over processors, like any phase)."""
-        proc_states: list[bytes] = []
-        proc_incoming: list[bytes | None] = []
-        for pr in self.procs:
-            proc_states.append(freeze(pr.contexts.export_all(group_size=self.k)))
-            if pr.incoming is not None:
-                blocks = pr.incoming.read_slots(range(pr.incoming.nslots))
-                proc_incoming.append(freeze((pr.incoming.slot_sizes, blocks)))
-            else:
-                proc_incoming.append(None)
+        exports = self.backend.call_all("export_checkpoint", [(self.k,)] * self.p)
         self.last_checkpoint = SuperstepCheckpoint(
             step=step,
-            rng_state=self.rng.getstate(),
-            proc_states=proc_states,
-            proc_incoming=proc_incoming,
+            rng_state=[e[2] for e in exports],  # one RNG stream per processor
+            proc_states=[e[0] for e in exports],
+            proc_incoming=[e[1] for e in exports],
             report_blob=freeze((self.report, self.ledger)),
-            dead_disks=[set(pr.array.dead_disks) for pr in self.procs],
+            dead_disks=[e[3] for e in exports],
         )
         self._checkpoints_taken += 1
-        self._checkpoint_io_ops += max(pr.io_delta() for pr in self.procs)
+        self._checkpoint_io_ops += max(e[4] for e in exports)
 
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
         self.report, self.ledger = thaw(ckpt.report_blob)
-        self.rng.setstate(ckpt.rng_state)
-        for pr in self.procs:
-            if pr.buckets is not None:
-                pr.buckets.free()
-                pr.buckets = None
-            if pr.incoming is not None:
-                pr.incoming.free()
-                pr.incoming = None
-            pr.contexts.import_all(thaw(ckpt.proc_states[pr.index]), group_size=self.k)
-            blob = ckpt.proc_incoming[pr.index]
-            if blob is not None:
-                slot_sizes, blocks = thaw(blob)
-                region = StripedRegion(
-                    pr.array, pr.allocator, slot_sizes,
-                    name=f"incoming@p{pr.index}resume{ckpt.step}",
-                )
-                region.write_slots(range(region.nslots), blocks)
-                pr.incoming = region
-        self._recovery_io_ops += max(pr.io_delta() for pr in self.procs)
+        rngs = ckpt.rng_state
+        if not isinstance(rngs, list):
+            rngs = [rngs] * self.p
+        deltas = self.backend.call_all(
+            "restore_checkpoint",
+            [
+                (ckpt.proc_states[i], ckpt.proc_incoming[i], rngs[i], ckpt.step)
+                for i in range(self.p)
+            ],
+        )
+        self._recovery_io_ops += max(deltas)
 
     # -- one compound superstep --------------------------------------------------------
 
     def _superstep(self, step: int) -> bool:
-        alg = self.algorithm
         m = self.params.machine
-        gamma = self.gamma
 
         cost = self.ledger.begin_superstep(label=f"superstep {step}")
         cost.syncs = 0
         phases = PhaseBreakdown()
-        retry0 = [pr.array.retry_ops for pr in self.procs]
-        stall0 = [pr.stall_total() for pr in self.procs]
-        for pr in self.procs:
-            pr.new_buckets()
+        marks0 = self.backend.call_all("begin_superstep")
         all_halted = True
         blocks_generated = 0
 
         for j in range(self.nbatches):
             # ---- Fetching phase: local reads + gather h-relation ----
             # inbound[q] = blocks for processor q's current k vps.
+            fetches = self.backend.call_all("fetch", [(j,)] * self.p)
+            phases.fetch_messages += max(io for _by, io in fetches)
             inbound: list[list[Block]] = [[] for _ in range(self.p)]
             sent_pk = [0] * self.p
             recv_pk = [0] * self.p
-            for pr in self.procs:
-                if pr.incoming is not None:
-                    blks = [
-                        blk
-                        for blk in pr.incoming.read_slot(j)
-                        if blk is not None and not blk.dummy
-                    ]
-                else:
-                    blks = []
-                # Combine blocks per destination processor into packets
-                # of size b for the gather h-relation.
-                by_dest: dict[int, list[Block]] = {}
-                for blk in blks:
-                    by_dest.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
-                for q, qblocks in sorted(by_dest.items()):
+            for i, (by_owner, _io) in enumerate(fetches):
+                for q, qblocks in sorted(by_owner.items()):
                     nrec = sum(b.nrecords() for b in qblocks)
                     npk = max(1, packets_for(nrec, m.b))
-                    if q != pr.index:
-                        sent_pk[pr.index] += npk
+                    if q != i:
+                        sent_pk[i] += npk
                         recv_pk[q] += npk
                     inbound[q].extend(qblocks)
-            io_this = max(pr.io_delta() for pr in self.procs)
-            phases.fetch_messages += io_this
             cost.comm_packets += max(sent_pk[q] + recv_pk[q] for q in range(self.p))
             cost.syncs += 1
 
-            # ---- contexts (local) ----
-            round_states: list[list[Any]] = []
-            for pr in self.procs:
-                local = [
-                    vp - pr.index * self.vpp for vp in self.round_vps(pr.index, j)
-                ]
-                round_states.append(pr.contexts.load_group(local))
-            phases.fetch_context += max(pr.io_delta() for pr in self.procs)
+            # ---- Computing phase (incl. local context swaps) ----
+            computes = self.backend.call_all(
+                "compute", [(j, step, inbound[q]) for q in range(self.p)]
+            )
+            phases.fetch_context += max(r["fetch_io"] for r in computes)
+            phases.write_context += max(r["save_io"] for r in computes)
+            cost.comp_ops += max(r["comp"] for r in computes)
+            cost.records_sent += sum(r["sent_records"] for r in computes)
+            if not all(r["halted"] for r in computes):
+                all_halted = False
 
-            # ---- Computing phase ----
-            round_comp = [0.0] * self.p
-            # outpackets[q] = packets randomly scattered to processor q.
+            # ---- Writing phase: scatter h-relation + bucket writes ----
             outpackets: list[list[Packet]] = [[] for _ in range(self.p)]
             scatter_sent = [0] * self.p
             scatter_recv = [0] * self.p
-            for pr in self.procs:
-                vps = self.round_vps(pr.index, j)
-                per_vp_blocks: dict[int, list[Block]] = {vp: [] for vp in vps}
-                for blk in inbound[pr.index]:
-                    per_vp_blocks[blk.dest].append(blk)
-                new_states = []
-                for vp, state in zip(vps, round_states[pr.index]):
-                    msgs = blocks_to_messages(per_vp_blocks[vp])
-                    if gamma is not None:
-                        nrecv = sum(msg.size for msg in msgs)
-                        if nrecv > gamma:
-                            raise AlgorithmError(
-                                f"vp {vp} received {nrecv} records in "
-                                f"superstep {step}, exceeding gamma={gamma}"
-                            )
-                    ctx = VPContext(vp, self.v, step, state, msgs, comm_bound=gamma)
-                    alg.superstep(ctx)
-                    new_states.append(ctx.state)
-                    if not ctx.halted:
-                        all_halted = False
-                    round_comp[pr.index] += ctx.comp_ops
-                    cost.records_sent += ctx.sent_records
-                    for mi, msg in enumerate(ctx.outbox):
-                        for pkt in message_to_packets(msg, m.b, mi):
-                            target = self.rng.randrange(self.p)
-                            scatter_sent[pr.index] += 1
-                            scatter_recv[target] += 1
-                            outpackets[target].append(pkt)
-                local = [vp - pr.index * self.vpp for vp in vps]
-                pr.contexts.save_group(local, new_states)
-            phases.write_context += max(pr.io_delta() for pr in self.procs)
-            cost.comp_ops += max(round_comp)
-
-            # ---- Writing phase: scatter h-relation + bucket writes ----
+            for i, r in enumerate(computes):
+                scatter_sent[i] = len(r["packets"])
+                for target, pkt in r["packets"]:
+                    scatter_recv[target] += 1
+                    outpackets[target].append(pkt)
             cost.comm_packets += max(
                 scatter_sent[q] + scatter_recv[q] for q in range(self.p)
             )
             cost.syncs += 1
-            for pr in self.procs:
-                rblocks: list[Block] = []
-                for pkt in outpackets[pr.index]:
-                    rblocks.extend(packet_to_blocks(pkt, m.B))
-                blocks_generated += len(rblocks)
-                pr.buckets.append_blocks(rblocks)
-            phases.write_messages += max(pr.io_delta() for pr in self.procs)
+            writes = self.backend.call_all(
+                "write", [(j, outpackets[q]) for q in range(self.p)]
+            )
+            blocks_generated += sum(n for n, _io in writes)
+            phases.write_messages += max(io for _n, io in writes)
 
         # ---- Step 2: local reorganization on every processor ----
+        reorgs = self.backend.call_all("reorganize", [(step,)] * self.p)
+        phases.reorganize += max(io for _r, io in reorgs)
+        cost.syncs += 1
         worst_routing: RoutingStats | None = None
-        for pr in self.procs:
-            new_incoming, routing = simulate_routing(
-                pr.array,
-                pr.allocator,
-                pr.buckets,
-                nslots=self.nbatches,
-                slot_of=self.batch_of_vp,
-                name=f"incoming@p{pr.index}s{step + 1}",
-            )
-            pr.buckets.free()
-            pr.buckets = None
-            if pr.incoming is not None:
-                pr.incoming.free()
-            pr.incoming = new_incoming
+        for routing, _io in reorgs:
             if (
                 worst_routing is None
                 or routing.max_load_ratio > worst_routing.max_load_ratio
             ):
                 worst_routing = routing
-        phases.reorganize += max(pr.io_delta() for pr in self.procs)
-        cost.syncs += 1
 
+        marks1 = self.backend.call_all("end_superstep")
         cost.io_ops = phases.total
         cost.records_io = phases.total * m.D * m.B
-        cost.retry_ops = max(
-            pr.array.retry_ops - r0 for pr, r0 in zip(self.procs, retry0)
-        )
-        cost.stall_ops = max(
-            pr.stall_total() - s0 for pr, s0 in zip(self.procs, stall0)
-        )
+        cost.retry_ops = max(m1[0] - m0[0] for m0, m1 in zip(marks0, marks1))
+        cost.stall_ops = max(m1[1] - m0[1] for m0, m1 in zip(marks0, marks1))
         self.report.supersteps.append(
             SuperstepReport(
                 index=step,
@@ -474,22 +669,17 @@ class ParallelEMSimulation:
     # -- wrap-up ---------------------------------------------------------------------
 
     def _finish(self) -> tuple[list[Any], SimulationReport]:
-        alg = self.algorithm
         self.ledger.close()
         self.report.ledger = self.ledger
 
         # ---- unload output ----
+        collected = self.backend.call_all("collect_outputs")
         outputs: list[Any] = [None] * self.v
-        for pr in self.procs:
-            for j in range(self.nbatches):
-                vps = self.round_vps(pr.index, j)
-                local = [vp - pr.index * self.vpp for vp in vps]
-                for vp, state in zip(vps, pr.contexts.load_group(local)):
-                    outputs[vp] = alg.output(vp, state)
-        self.report.output_io_ops = max(pr.io_delta() for pr in self.procs)
-        self.report.disk_space_tracks = max(
-            pr.allocator.high_water for pr in self.procs
-        )
+        for outs, _io, _hw in collected:
+            for vp, out in outs.items():
+                outputs[vp] = out
+        self.report.output_io_ops = max(io for _o, io, _hw in collected)
+        self.report.disk_space_tracks = max(hw for _o, _io, hw in collected)
         self._attach_fault_report()
         return outputs, self.report
 
@@ -500,26 +690,25 @@ class ParallelEMSimulation:
             and self._resumed_from is None
         ):
             return
+        stats = self.backend.call_all("fault_stats")
         fr = FaultReport(
-            retry_reads=sum(pr.array.retry_reads for pr in self.procs),
-            retry_writes=sum(pr.array.retry_writes for pr in self.procs),
-            stall_ops=sum(pr.stall_total() for pr in self.procs),
-            degraded_writes=sum(pr.array.degraded_writes for pr in self.procs),
+            retry_reads=sum(s["retry_reads"] for s in stats),
+            retry_writes=sum(s["retry_writes"] for s in stats),
+            stall_ops=sum(s["stall_ops"] for s in stats),
+            degraded_writes=sum(s["degraded_writes"] for s in stats),
             recoveries=self._recoveries,
             checkpoints_taken=self._checkpoints_taken,
             checkpoint_io_ops=self._checkpoint_io_ops,
             recovery_io_ops=self._recovery_io_ops,
             resumed_from_step=self._resumed_from,
         )
-        for pr in self.procs:
-            inj = pr.array.injector
-            if inj is None:
+        for s in stats:
+            if "transient_read_errors" not in s:
                 continue
-            s = inj.stats
-            fr.transient_read_errors += s.transient_read_errors
-            fr.transient_write_errors += s.transient_write_errors
-            fr.corruptions_injected += s.corruptions_injected
-            fr.checksum_errors += s.checksum_errors
-            fr.latency_spikes += s.latency_spikes
-            fr.disks_died += s.disks_died
+            fr.transient_read_errors += s["transient_read_errors"]
+            fr.transient_write_errors += s["transient_write_errors"]
+            fr.corruptions_injected += s["corruptions_injected"]
+            fr.checksum_errors += s["checksum_errors"]
+            fr.latency_spikes += s["latency_spikes"]
+            fr.disks_died += s["disks_died"]
         self.report.faults = fr

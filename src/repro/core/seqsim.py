@@ -98,6 +98,15 @@ class SequentialEMSimulation:
         Fatal-fault recovery budget; exceeding it raises
         :class:`~repro.core.checkpoint.SimulationAborted` carrying the last
         good checkpoint (hand it to :meth:`resume_from_checkpoint`).
+    context_cache:
+        Context-swap fast path: keep pickled context bytes host-side with a
+        dirty bit; swaps charge the identical counted I/O without moving
+        block data (see :class:`~repro.core.context.ContextStore`).  Model
+        costs and outputs are unchanged; only host wall-clock improves.
+    fast_io:
+        Enable the disk array's fast data plane — counted-cost-identical
+        short-circuits of the parallel primitives, legal only on a healthy,
+        untraced array (auto-disabled otherwise).
     """
 
     def __init__(
@@ -113,6 +122,8 @@ class SequentialEMSimulation:
         retry: RetryPolicy | None = None,
         checkpoint: bool = False,
         max_recoveries: int = 8,
+        context_cache: bool = False,
+        fast_io: bool = False,
     ):
         if params.machine.p != 1:
             raise ParameterError(
@@ -130,7 +141,9 @@ class SequentialEMSimulation:
         self.max_recoveries = max_recoveries
 
         m = params.machine
-        self.array = DiskArray(m.D, m.B, faults=faults, retry=retry, proc=0)
+        self.array = DiskArray(
+            m.D, m.B, faults=faults, retry=retry, proc=0, fast_io=fast_io
+        )
         self.allocator = RegionAllocator(self.array)
         self.ledger = CostLedger(m)
         self.report = SimulationReport(params=params, ledger=self.ledger)
@@ -140,7 +153,7 @@ class SequentialEMSimulation:
         self.groups = params.bsp.v // params.k
         self.contexts = ContextStore(
             self.array, self.allocator, params.bsp.v, params.bsp.mu, m.B,
-            name="contexts",
+            name="contexts", cache=context_cache,
         )
 
         # -- live simulation state (checkpoint/restore targets) ----------------

@@ -54,6 +54,9 @@ def simulate(
     retry: RetryPolicy | None = None,
     checkpoint: bool = False,
     max_recoveries: int = 8,
+    backend: Literal["inline", "process"] = "inline",
+    context_cache: bool = False,
+    fast_io: bool = False,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -78,6 +81,21 @@ def simulate(
         Checkpoint at every compound-superstep barrier and re-run a
         superstep after a fatal I/O fault (at most ``max_recoveries`` times).
         The run's fault/retry/recovery tallies land in ``report.faults``.
+    backend:
+        Where the parallel engine's real processors execute: ``"inline"``
+        (default, the reference) or ``"process"`` (one ``multiprocessing``
+        worker per processor; see :mod:`repro.core.backend`).  Counted
+        costs, outputs, and reports are identical.  Rejected for the
+        sequential engine.
+    context_cache:
+        Context-swap fast path: keep pickled context bytes host-side with a
+        dirty bit and charge the identical parallel I/O without
+        re-materializing blocks (see :class:`~repro.core.context.ContextStore`).
+        Auto-disabled under fault injection.  Model costs are unchanged.
+    fast_io:
+        Short-circuit the disk arrays' data plane when no faults, traces, or
+        dead disks are active (see :class:`~repro.emio.diskarray.DiskArray`).
+        Counters and stored blocks stay identical; only wall-clock changes.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -97,12 +115,19 @@ def simulate(
         retry=retry,
         checkpoint=checkpoint,
         max_recoveries=max_recoveries,
+        context_cache=context_cache,
+        fast_io=fast_io,
         **engine_kwargs,
     )
     if engine == "sequential":
+        if backend != "inline":
+            raise ValueError(
+                f"backend={backend!r} requires the parallel engine "
+                "(the sequential engine has a single real processor)"
+            )
         sim = SequentialEMSimulation(algorithm, params, **kwargs)
     elif engine == "parallel":
-        sim = ParallelEMSimulation(algorithm, params, **kwargs)
+        sim = ParallelEMSimulation(algorithm, params, backend=backend, **kwargs)
     else:
         raise ValueError(f"unknown engine {engine!r}")
     return sim.run()

@@ -70,9 +70,15 @@ class Block:
         return len(self.records)
 
     def validate(self, B: int) -> None:
+        if getattr(self, "_vB", None) == B:
+            return
         n = self.nrecords()
         if n > B:
             raise DiskError(f"block holds {n} records, exceeds block size B={B}")
+        # Blocks are immutable once written; memoize the passed bound so a
+        # block travelling through several regions is not re-measured on
+        # every write (hot in write_batched).
+        self._vB = B
 
 
 class Disk:
@@ -90,6 +96,7 @@ class Disk:
         self.reads = 0
         self.writes = 0
         self._high_water = -1  # highest track ever written
+        self._occupied = 0  # tracks currently holding a block (O(1) used_tracks)
 
     # -- primitives ------------------------------------------------------------
 
@@ -113,9 +120,21 @@ class Disk:
         if block is not None:
             block.validate(self.B)
         self.writes += 1
-        self._tracks[track] = block
+        self._store(track, block)
         if self._high_water < track < SHADOW_TRACK_BASE:
             self._high_water = track
+
+    def _store(self, track: int, block: Block | None) -> None:
+        """Place ``block`` at ``track``, maintaining the occupancy counter."""
+        prev = self._tracks.get(track)
+        if (prev is None) != (block is None):
+            self._occupied += 1 if prev is None else -1
+        self._tracks[track] = block
+
+    def discard_track(self, track: int) -> None:
+        """Drop a track's contents (deallocation; no access is charged)."""
+        if self._tracks.pop(track, None) is not None:
+            self._occupied -= 1
 
     # -- inspection (free of charge; simulator-internal) -----------------------
 
@@ -129,8 +148,8 @@ class Disk:
 
     @property
     def used_tracks(self) -> int:
-        """Number of tracks currently holding a block."""
-        return sum(1 for b in self._tracks.values() if b is not None)
+        """Number of tracks currently holding a block (O(1) counter)."""
+        return self._occupied
 
     @property
     def high_water(self) -> int:

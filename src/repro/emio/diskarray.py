@@ -72,6 +72,7 @@ class DiskArray:
         faults: "FaultPlan | FaultInjector | None" = None,
         retry: RetryPolicy | None = None,
         proc: int = 0,
+        fast_io: bool = False,
     ):
         if D < 1:
             raise DiskError(f"D must be >= 1, got {D}")
@@ -99,6 +100,16 @@ class DiskArray:
         else:
             self.disks = [Disk(d, B, ntracks) for d in range(D)]
         self.parallel_ops = 0
+        # -- fast data plane ----------------------------------------------------
+        # When enabled (and the array is healthy, unbounded, and untraced)
+        # the parallel primitives take a short-circuit that produces the
+        # *identical* counted costs (parallel_ops, per-disk reads/writes,
+        # high-water marks, stored blocks) while skipping the fault/remap/
+        # retry machinery that provably cannot fire on a healthy array.
+        # ``hooked`` is set by IOTrace.attach: a traced array always runs the
+        # full physical-attempt path so traces stay byte-identical.
+        self._fast = bool(fast_io) and faults is None and ntracks is None
+        self.hooked = False
         # -- robustness state ---------------------------------------------------
         self.dead_disks: set[int] = set()
         self.retry_reads = 0  # extra parallel ops spent re-reading
@@ -108,6 +119,11 @@ class DiskArray:
         self._remap: dict[tuple[int, int], tuple[int, int]] = {}
         self._shadow_next: dict[int, int] = {}
         self._remap_rr = 0
+
+    @property
+    def fast_data_plane(self) -> bool:
+        """True when the counted-cost short-circuits are active."""
+        return self._fast and not self.hooked and not self.dead_disks
 
     # -- degraded mode ---------------------------------------------------------
 
@@ -250,6 +266,14 @@ class DiskArray:
         if len(ops) > self.D:
             raise DiskError(f"parallel read of {len(ops)} tracks exceeds D={self.D}")
         self._assert_one_per_disk([d for d, _ in ops])
+        if self.fast_data_plane:
+            self.parallel_ops += 1
+            out: list[Block | None] = []
+            for d, t in ops:
+                disk = self.disks[d]
+                disk.reads += 1
+                out.append(disk._tracks.get(t))
+            return out
         results: list[Block | None] = [None] * len(ops)
         fresh = [(i, self._resolve_read(d, t)) for i, (d, t) in enumerate(ops)]
         retry_q: list[tuple[int, tuple[int, int]]] = []
@@ -294,6 +318,18 @@ class DiskArray:
         if len(ops) > self.D:
             raise DiskError(f"parallel write of {len(ops)} tracks exceeds D={self.D}")
         self._assert_one_per_disk([d for d, _, _ in ops])
+        if self.fast_data_plane:
+            self.parallel_ops += 1
+            B = self.B
+            for d, t, blk in ops:
+                disk = self.disks[d]
+                if blk is not None:
+                    blk.validate(B)
+                disk.writes += 1
+                disk._store(t, blk)
+                if disk._high_water < t < SHADOW_TRACK_BASE:
+                    disk._high_water = t
+            return
         fresh = [
             (i, (*self._resolve_write(d, t), blk))
             for i, (d, t, blk) in enumerate(ops)
@@ -332,6 +368,23 @@ class DiskArray:
         (ceil(n/D) rounds).
         """
         addrs = list(addrs)
+        if self.fast_data_plane:
+            if not addrs:
+                return []
+            # The greedy packing below assigns the r-th occurrence of a disk
+            # to round r (a round can never be closed by the D-item cap,
+            # since it holds at most one item per disk and there are only D
+            # disks), so it uses exactly max-per-disk-count rounds.
+            counts = [0] * self.D
+            out: list[Block | None] = []
+            disks = self.disks
+            for d, t in addrs:
+                counts[d] += 1
+                out.append(disks[d]._tracks.get(t))
+            for d, c in enumerate(counts):
+                disks[d].reads += c
+            self.parallel_ops += max(counts)
+            return out
         results: list[Block | None] = [None] * len(addrs)
         pending = list(enumerate(addrs))
         while pending:
@@ -358,6 +411,25 @@ class DiskArray:
         """
         before = self.parallel_ops
         pending = list(ops)
+        if self.fast_data_plane:
+            if not pending:
+                return 0
+            # Same round-count equivalence as read_batched.
+            counts = [0] * self.D
+            B = self.B
+            disks = self.disks
+            for d, t, blk in pending:
+                counts[d] += 1
+                disk = disks[d]
+                if blk is not None:
+                    blk.validate(B)
+                disk._store(t, blk)
+                if disk._high_water < t < SHADOW_TRACK_BASE:
+                    disk._high_water = t
+            for d, c in enumerate(counts):
+                disks[d].writes += c
+            self.parallel_ops += max(counts)
+            return self.parallel_ops - before
         while pending:
             used: set[int] = set()
             round_ops: list[tuple[int, int, Block | None]] = []
@@ -371,6 +443,52 @@ class DiskArray:
             self.parallel_write(round_ops)
             pending = rest
         return self.parallel_ops - before
+
+    def charge_batched(self, kind: str, addrs: Iterable[tuple[int, int]]) -> int:
+        """Charge the counted cost of a batched transfer without moving data.
+
+        ``kind`` is ``"R"`` or ``"W"``.  Increments ``parallel_ops`` by the
+        exact number of rounds the greedy packing of :meth:`read_batched` /
+        :meth:`write_batched` would use for ``addrs`` (max per-disk count;
+        see the round-count equivalence note there), plus the per-disk
+        access counters and, for writes, the high-water marks — but touches
+        no block data.  This is the substrate of the context-swap fast path:
+        a cached (clean) context swap charges the identical parallel I/O the
+        reference path would, so Theorem 1 accounting is unchanged.
+
+        Only legal on the fast data plane: a faulty, bounded, or traced
+        array must run the physical path (faults may fire; traces record
+        physical attempts), so charging silently would diverge.
+
+        Returns the number of parallel operations charged.
+        """
+        if not self.fast_data_plane:
+            raise DiskError(
+                "charge_batched requires the fast data plane "
+                "(healthy, unbounded, untraced array with fast_io=True)"
+            )
+        if kind not in ("R", "W"):
+            raise DiskError(f"charge_batched kind must be 'R' or 'W', got {kind!r}")
+        counts = [0] * self.D
+        if kind == "R":
+            for d, _t in addrs:
+                counts[d] += 1
+            for d, c in enumerate(counts):
+                self.disks[d].reads += c
+        else:
+            maxt = [-1] * self.D
+            for d, t in addrs:
+                counts[d] += 1
+                if t > maxt[d]:
+                    maxt[d] = t
+            for d, c in enumerate(counts):
+                disk = self.disks[d]
+                disk.writes += c
+                if disk._high_water < maxt[d] < SHADOW_TRACK_BASE:
+                    disk._high_water = maxt[d]
+        rounds = max(counts) if any(counts) else 0
+        self.parallel_ops += rounds
+        return rounds
 
     # -- statistics ----------------------------------------------------------------
 

@@ -38,6 +38,8 @@ __all__ = [
     "blocks_needed",
     "pack_records",
     "unpack_records",
+    "bytes_to_blocks",
+    "check_context_bound",
     "pickle_to_blocks",
     "blocks_to_object",
 ]
@@ -54,10 +56,15 @@ def pack_records(records: Sequence[Any], B: int, dest: int = -1) -> list[Block]:
     Every block inherits the destination address ``dest`` and carries a
     sequence number so the original order can be reassembled.
     """
-    out = []
-    for seq, i in enumerate(range(0, len(records), B)):
-        out.append(Block(records=list(records[i : i + B]), dest=dest, seq=seq))
-    return out
+    # Slicing a list already yields a fresh list; only non-list sequences
+    # need one materializing copy up front (avoids the old per-block double
+    # copy via list(records[i:i+B])).
+    if not isinstance(records, list):
+        records = list(records)
+    return [
+        Block(records=records[i : i + B], dest=dest, seq=seq)
+        for seq, i in enumerate(range(0, len(records), B))
+    ]
 
 
 def unpack_records(blocks: Iterable[Block | None]) -> list[Any]:
@@ -70,27 +77,39 @@ def unpack_records(blocks: Iterable[Block | None]) -> list[Any]:
     return records
 
 
-def pickle_to_blocks(obj: Any, B: int, max_records: int | None = None) -> list[Block]:
-    """Serialize ``obj`` and split the bytes into blocks of ``B`` records.
+def check_context_bound(data: bytes, max_records: int | None) -> int:
+    """Records needed for a serialized context; raise if over ``max_records``.
 
-    One record carries :attr:`Block.BYTES_PER_RECORD` bytes of the pickle.
-    If ``max_records`` is given and the serialized size exceeds it, a
-    :class:`DiskError` is raised — this is how the simulator enforces the
-    declared context bound ``mu``.
+    This is how the simulator enforces the declared context bound ``mu``.
     """
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    bpr = Block.BYTES_PER_RECORD
-    nrec = -(-len(data) // bpr)
+    nrec = -(-len(data) // Block.BYTES_PER_RECORD)
     if max_records is not None and nrec > max_records:
         raise DiskError(
             f"serialized context needs {nrec} records, exceeds declared bound "
             f"{max_records}; raise the algorithm's context_size()"
         )
-    chunk = B * bpr
+    return nrec
+
+
+def bytes_to_blocks(data: bytes, B: int) -> list[Block]:
+    """Split serialized bytes into blocks of ``B`` records (8 bytes each)."""
+    chunk = B * Block.BYTES_PER_RECORD
     return [
         Block(records=data[i : i + chunk], seq=seq)
         for seq, i in enumerate(range(0, max(len(data), 1), chunk))
     ]
+
+
+def pickle_to_blocks(obj: Any, B: int, max_records: int | None = None) -> list[Block]:
+    """Serialize ``obj`` and split the bytes into blocks of ``B`` records.
+
+    One record carries :attr:`Block.BYTES_PER_RECORD` bytes of the pickle.
+    If ``max_records`` is given and the serialized size exceeds it, a
+    :class:`DiskError` is raised.
+    """
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    check_context_bound(data, max_records)
+    return bytes_to_blocks(data, B)
 
 
 def blocks_to_object(blocks: Iterable[Block | None]) -> Any:
@@ -142,7 +161,7 @@ class RegionAllocator:
             return
         for disk in self.array.disks:
             for t in range(base, base + tracks_per_disk):
-                disk._tracks.pop(t, None)
+                disk.discard_track(t)
         if base + tracks_per_disk == self.next_track:
             self.next_track = base
             self._coalesce_tail()

@@ -53,6 +53,9 @@ class IOTrace:
         """Wrap the array's physical-attempt primitives to record every
         operation, including retry rounds."""
         trace = cls(D=array.D, limit=limit)
+        # A traced array must run the full physical-attempt path (the fast
+        # data plane bypasses it), so every op lands in the trace.
+        array.hooked = True
         orig_read = array._attempt_read
         orig_write = array._attempt_write
 

@@ -1,0 +1,193 @@
+"""Unit tests for the fast-path substrate in the emio layer.
+
+Covers the O(1) disk occupancy counter, the arithmetic I/O charging of
+``charge_batched`` (it must reproduce the physical batched primitives'
+counters exactly), the single-copy ``pack_records``, the memoized
+``Block.validate``, and the gating of the fast data plane.
+"""
+
+import random
+
+import pytest
+
+from repro.emio.disk import Block, Disk, DiskError
+from repro.emio.diskarray import DiskArray
+from repro.emio.faults import FaultPlan
+from repro.emio.layout import pack_records, unpack_records
+from repro.emio.trace import IOTrace
+
+
+def blk(i, B=8):
+    return Block(records=[i] * B)
+
+
+class TestOccupancyCounter:
+    def test_counter_matches_scan(self):
+        disk = Disk(0, B=8)
+        rng = random.Random(7)
+        for _ in range(500):
+            t = rng.randrange(40)
+            action = rng.random()
+            if action < 0.5:
+                disk.write_track(t, blk(t))
+            elif action < 0.8:
+                disk.write_track(t, None)
+            else:
+                disk.discard_track(t)
+            assert disk.used_tracks == sum(1 for _ in disk.occupied())
+
+    def test_overwrite_does_not_double_count(self):
+        disk = Disk(0, B=8)
+        disk.write_track(3, blk(1))
+        disk.write_track(3, blk(2))
+        assert disk.used_tracks == 1
+        disk.write_track(3, None)
+        assert disk.used_tracks == 0
+        disk.write_track(3, None)
+        assert disk.used_tracks == 0
+
+    def test_discard_missing_track_is_noop(self):
+        disk = Disk(0, B=8)
+        disk.discard_track(9)
+        assert disk.used_tracks == 0
+
+
+class TestChargeBatched:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_write_charge_matches_physical(self, seed):
+        """charge_batched must leave the array's counters exactly where the
+        physical write_batched leaves them."""
+        rng = random.Random(seed)
+        D = 4
+        ops = [
+            (rng.randrange(D), rng.randrange(30), blk(i)) for i in range(rng.randrange(1, 60))
+        ]
+        physical = DiskArray(D, 8)
+        rounds_physical = physical.write_batched(list(ops))
+        charged = DiskArray(D, 8, fast_io=True)
+        rounds_charged = charged.charge_batched("W", [(d, t) for d, t, _b in ops])
+        assert rounds_charged == rounds_physical
+        assert charged.parallel_ops == physical.parallel_ops
+        for dp, dc in zip(physical.disks, charged.disks):
+            assert dc.writes == dp.writes
+            assert dc.high_water == dp.high_water
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_read_charge_matches_physical(self, seed):
+        rng = random.Random(100 + seed)
+        D = 4
+        addrs = [
+            (rng.randrange(D), rng.randrange(30)) for _ in range(rng.randrange(1, 60))
+        ]
+        physical = DiskArray(D, 8)
+        physical.read_batched(list(addrs))
+        charged = DiskArray(D, 8, fast_io=True)
+        charged.charge_batched("R", addrs)
+        assert charged.parallel_ops == physical.parallel_ops
+        for dp, dc in zip(physical.disks, charged.disks):
+            assert dc.reads == dp.reads
+
+    def test_empty_batch_charges_nothing(self):
+        array = DiskArray(4, 8, fast_io=True)
+        assert array.charge_batched("R", []) == 0
+        assert array.parallel_ops == 0
+
+    def test_requires_fast_data_plane(self):
+        with pytest.raises(DiskError, match="fast data plane"):
+            DiskArray(4, 8).charge_batched("R", [(0, 0)])
+
+    def test_rejects_bad_kind(self):
+        array = DiskArray(4, 8, fast_io=True)
+        with pytest.raises(DiskError, match="kind"):
+            array.charge_batched("X", [(0, 0)])
+
+
+class TestFastPlaneGating:
+    def test_plain_array_is_not_fast(self):
+        assert DiskArray(4, 8).fast_data_plane is False
+
+    def test_fast_io_enables(self):
+        assert DiskArray(4, 8, fast_io=True).fast_data_plane is True
+
+    def test_trace_disables(self):
+        array = DiskArray(4, 8, fast_io=True)
+        IOTrace.attach(array)
+        assert array.fast_data_plane is False
+
+    def test_faults_disable(self):
+        plan = FaultPlan(seed=0, read_error_rate=0.5)
+        array = DiskArray(4, 8, faults=plan, fast_io=True)
+        assert array.fast_data_plane is False
+
+    def test_bounded_capacity_disables(self):
+        array = DiskArray(4, 8, ntracks=16, fast_io=True)
+        assert array.fast_data_plane is False
+
+    def test_dead_disk_disables(self):
+        array = DiskArray(4, 8, fast_io=True)
+        array.dead_disks.add(2)
+        assert array.fast_data_plane is False
+
+    def test_fast_primitives_count_like_reference(self):
+        """The short-circuited primitives store the same blocks and count
+        the same accesses as the reference plane."""
+        ref = DiskArray(4, 8)
+        fast = DiskArray(4, 8, fast_io=True)
+        ops = [(d, 0, blk(d)) for d in range(4)]
+        for arr in (ref, fast):
+            arr.parallel_write(list(ops))
+            arr.parallel_read([(d, 0) for d in range(4)])
+        assert fast.parallel_ops == ref.parallel_ops == 2
+        for dr, df in zip(ref.disks, fast.disks):
+            assert (df.reads, df.writes, df.used_tracks) == (
+                dr.reads,
+                dr.writes,
+                dr.used_tracks,
+            )
+            assert df.peek(0).records == dr.peek(0).records
+
+
+class TestPackRecords:
+    def test_roundtrip_from_list(self):
+        records = list(range(23))
+        blocks = pack_records(records, B=8, dest=5)
+        assert [b.seq for b in blocks] == [0, 1, 2]
+        assert all(b.dest == 5 for b in blocks)
+        assert unpack_records(blocks) == records
+
+    def test_accepts_non_list_sequences(self):
+        records = tuple(range(17))
+        blocks = pack_records(records, B=8)
+        assert unpack_records(blocks) == list(records)
+        assert all(isinstance(b.records, list) for b in blocks)
+
+    def test_accepts_generators(self):
+        blocks = pack_records((i * i for i in range(10)), B=4)
+        assert unpack_records(blocks) == [i * i for i in range(10)]
+
+    def test_blocks_are_fresh_lists(self):
+        records = list(range(8))
+        [block] = pack_records(records, B=8)
+        block.records[0] = -1
+        assert records[0] == 0
+
+
+class TestValidateMemo:
+    def test_revalidates_for_different_bound(self):
+        block = Block(records=list(range(5)))
+        block.validate(8)
+        with pytest.raises(DiskError, match="exceeds block size"):
+            block.validate(4)
+
+    def test_memo_hits_same_bound(self):
+        block = Block(records=list(range(5)))
+        block.validate(8)
+        assert block._vB == 8
+        block.validate(8)
+        assert block._vB == 8
+
+    def test_oversized_block_rejected_and_not_memoized(self):
+        block = Block(records=list(range(9)))
+        with pytest.raises(DiskError):
+            block.validate(8)
+        assert getattr(block, "_vB", None) is None
