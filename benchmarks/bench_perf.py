@@ -9,12 +9,15 @@ performance knobs introduced by the fast path work:
 * ``par_inline``      — parallel engine (p=4), inline backend, reference plane
 * ``par_fast_inline`` — parallel engine, inline backend, fast path
 * ``par_fast_process``— parallel engine, process backend, fast path
+* ``seq_fast_observed``/``par_fast_observed`` — the fast configs with a
+  telemetry :class:`repro.obs.Collector` attached (span/metric overhead)
 
-For every workload the harness *asserts* that each engine's fast
-configurations report exactly the same parallel I/O operation count, packet
-count, and computation cost as that engine's reference configuration — the
-dual-accounting invariant (counted model costs are untouchable; only host
-time may change).  Results land in ``BENCH_PERF.json``.
+For every workload the harness *asserts* that each engine's fast and
+observed configurations report exactly the same parallel I/O operation
+count, packet count, and computation cost as that engine's reference
+configuration — the dual-accounting invariant (counted model costs are
+untouchable; only host time may change).  Observer overhead above 5% prints
+a soft warning.  Results land in ``BENCH_PERF.json``.
 
 Usage::
 
@@ -60,6 +63,16 @@ CONFIGS = [
         "parallel",
         {"backend": "process", "context_cache": True, "fast_io": True},
     ),
+    (
+        "seq_fast_observed",
+        "sequential",
+        {"context_cache": True, "fast_io": True, "observe": True},
+    ),
+    (
+        "par_fast_observed",
+        "parallel",
+        {"context_cache": True, "fast_io": True, "observe": True},
+    ),
 ]
 
 
@@ -103,7 +116,13 @@ def _run_config(name: str, engine: str, kwargs: dict, make, v: int) -> dict[str,
     machine = MachineParams(p=p, M=1 << 20, D=4, B=32, b=64)
     params = build_params(alg, machine, v=v)
     cls = SequentialEMSimulation if engine == "sequential" else ParallelEMSimulation
-    sim = cls(alg, params, seed=SEED, **kwargs)
+    kwargs = dict(kwargs)
+    observer = None
+    if kwargs.pop("observe", False):
+        from repro.obs import Collector
+
+        observer = Collector()
+    sim = cls(alg, params, seed=SEED, observer=observer, **kwargs)
     t0 = time.perf_counter()
     outputs, report = sim.run()
     wall = time.perf_counter() - t0
@@ -111,7 +130,7 @@ def _run_config(name: str, engine: str, kwargs: dict, make, v: int) -> dict[str,
     ratios = [
         s.routing.max_load_ratio for s in report.supersteps if s.routing is not None
     ]
-    return {
+    r = {
         "wall_s": round(wall, 4),
         "io_ops": led.total_io_ops,
         "comm_packets": led.total_comm_packets,
@@ -121,6 +140,9 @@ def _run_config(name: str, engine: str, kwargs: dict, make, v: int) -> dict[str,
         "lemma2_max_load_ratio": round(max(ratios), 4) if ratios else None,
         "outputs_digest": hash(repr(outputs)) & 0xFFFFFFFF,
     }
+    if observer is not None:
+        r["telemetry_spans"] = len(observer.spans)
+    return r
 
 
 COUNTED = ("io_ops", "comm_packets", "comp_ops", "records_io", "outputs_digest")
@@ -157,6 +179,8 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
             ("seq_fast", "seq_reference"),
             ("par_fast_inline", "par_inline"),
             ("par_fast_process", "par_inline"),
+            ("seq_fast_observed", "seq_reference"),
+            ("par_fast_observed", "par_inline"),
         ]:
             for kct in COUNTED:
                 if configs[fast][kct] != configs[ref][kct]:
@@ -179,12 +203,39 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
                 configs["par_inline"]["wall_s"] / configs["par_fast_process"]["wall_s"],
                 3,
             ),
+            "observer_overhead_seq": round(
+                configs["seq_fast_observed"]["wall_s"] / configs["seq_fast"]["wall_s"]
+                - 1.0,
+                4,
+            ),
+            "observer_overhead_par": round(
+                configs["par_fast_observed"]["wall_s"]
+                / configs["par_fast_inline"]["wall_s"]
+                - 1.0,
+                4,
+            ),
         }
         print(
             f"  speedups: seq_fast={entry['speedup_seq_fast']}x  "
             f"par_fast_inline={entry['speedup_par_fast_inline']}x  "
             f"par_fast_process={entry['speedup_par_fast_process']}x"
         )
+        print(
+            f"  observer overhead: seq={entry['observer_overhead_seq']:+.1%}  "
+            f"par={entry['observer_overhead_par']:+.1%}"
+        )
+        # Soft signal only: wall-clock noise on shared CI runners dwarfs the
+        # span layer's cost (sub-0.2s runs are all jitter), so this never
+        # fails the run and only warns when the baseline is measurable.
+        for key, base_cfg in (
+            ("observer_overhead_seq", "seq_fast"),
+            ("observer_overhead_par", "par_fast_inline"),
+        ):
+            if entry[key] > 0.05 and configs[base_cfg]["wall_s"] >= 0.2:
+                print(
+                    f"::warning::{name}: {key} = {entry[key]:+.1%} exceeds "
+                    "the 5% telemetry budget"
+                )
         results["workloads"][name] = entry
     sort_entry = results["workloads"]["sort"]
     results["headline"] = {

@@ -22,6 +22,48 @@ from .core.simulator import simulate
 from .params import MachineParams
 
 
+def _observer(args):
+    """The run's shared Collector, or None when no telemetry flag was given.
+
+    Created once per CLI invocation (cached on ``args``) so a multi-run
+    subcommand like ``machines`` merges every run into one timeline.
+    """
+    if not (args.trace_out or args.jsonl_out or args.metrics):
+        return None
+    obs = getattr(args, "_collector", None)
+    if obs is None:
+        from .obs import Collector
+
+        obs = args._collector = Collector()
+    return obs
+
+
+def _export_obs(args) -> None:
+    obs = getattr(args, "_collector", None)
+    if obs is None:
+        return
+    if args.trace_out:
+        from .obs import write_chrome_trace
+
+        n = write_chrome_trace(obs, args.trace_out)
+        print(f"wrote {n} trace events to {args.trace_out} "
+              "(load in https://ui.perfetto.dev)")
+    if args.jsonl_out:
+        from .obs import write_jsonl
+
+        n = write_jsonl(obs, args.jsonl_out)
+        print(f"wrote {n} JSONL records to {args.jsonl_out}")
+    if args.metrics:
+        print("metrics:")
+        for name, data in sorted(obs.metrics.snapshot().items()):
+            kind = data["type"]
+            if kind == "histogram":
+                print(f"  {name:<28} count={data['count']} sum={data['sum']:g} "
+                      f"min={data['min']} max={data['max']}")
+            else:
+                print(f"  {name:<28} {data['value']:g}")
+
+
 def _machine(args, mu: int) -> MachineParams:
     M = args.memory if args.memory else max(2 * mu, args.disks * args.block)
     return MachineParams(
@@ -31,6 +73,15 @@ def _machine(args, mu: int) -> MachineParams:
         B=args.block,
         b=max(args.block, args.packet or args.block),
         G=args.G,
+    )
+
+
+def _run(args, algorithm, machine, **kw):
+    """``simulate`` with the CLI's backend and observability flags applied."""
+    return simulate(
+        algorithm, machine, seed=args.seed,
+        backend=args.backend if machine.p > 1 else "inline",
+        observer=_observer(args), **kw,
     )
 
 
@@ -57,9 +108,9 @@ def cmd_sort(args) -> int:
 
     data = workloads.uniform_keys(args.n, seed=args.seed)
     alg = CGMSampleSort(data, args.v)
-    out, report = simulate(
-        CGMSampleSort(data, args.v), _machine(args, alg.context_size()),
-        v=args.v, seed=args.seed,
+    out, report = _run(
+        args, CGMSampleSort(data, args.v), _machine(args, alg.context_size()),
+        v=args.v,
     )
     flat = [x for part in out for x in part]
     assert flat == sorted(data)
@@ -84,9 +135,9 @@ def cmd_permute(args) -> int:
     vals = list(range(args.n))
     perm = workloads.random_permutation(args.n, seed=args.seed)
     alg = CGMPermutation(vals, perm, args.v)
-    out, report = simulate(
-        CGMPermutation(vals, perm, args.v), _machine(args, alg.context_size()),
-        v=args.v, seed=args.seed,
+    out, report = _run(
+        args, CGMPermutation(vals, perm, args.v), _machine(args, alg.context_size()),
+        v=args.v,
     )
     y = [x for part in out for x in part]
     assert all(y[perm[i]] == vals[i] for i in range(args.n))
@@ -106,9 +157,9 @@ def cmd_transpose(args) -> int:
     c = args.n // r
     entries = workloads.matrix_entries(r, c, seed=args.seed)
     alg = CGMMatrixTranspose(entries, r, c, args.v)
-    _, report = simulate(
-        CGMMatrixTranspose(entries, r, c, args.v),
-        _machine(args, alg.context_size()), v=args.v, seed=args.seed,
+    _, report = _run(
+        args, CGMMatrixTranspose(entries, r, c, args.v),
+        _machine(args, alg.context_size()), v=args.v,
     )
     _report(f"transposed a {r}x{c} matrix", report, r * c)
     return 0
@@ -119,9 +170,9 @@ def cmd_listrank(args) -> int:
 
     succ = workloads.random_linked_list(args.n, seed=args.seed)
     alg = CGMListRanking(succ, args.v)
-    _, report = simulate(
-        CGMListRanking(succ, args.v), _machine(args, alg.context_size()),
-        v=args.v, seed=args.seed,
+    _, report = _run(
+        args, CGMListRanking(succ, args.v), _machine(args, alg.context_size()),
+        v=args.v,
     )
     _report(f"ranked a {args.n}-node list", report, args.n)
     if args.compare_pram and args.procs == 1:
@@ -139,9 +190,9 @@ def cmd_cc(args) -> int:
     nv = args.n
     edges = workloads.random_graph_edges(nv, 2 * nv, seed=args.seed)
     alg = CGMConnectedComponents(nv, edges, args.v)
-    out, report = simulate(
-        CGMConnectedComponents(nv, edges, args.v),
-        _machine(args, alg.context_size()), v=args.v, seed=args.seed,
+    out, report = _run(
+        args, CGMConnectedComponents(nv, edges, args.v),
+        _machine(args, alg.context_size()), v=args.v,
     )
     ncomp = len({lbl for part in out for _vtx, lbl in part})
     _report(f"connected components (V={nv}, E={2 * nv}): {ncomp} found",
@@ -154,9 +205,9 @@ def cmd_hull(args) -> int:
 
     pts = workloads.random_points(args.n, seed=args.seed)
     alg = CGMConvexHull(pts, args.v)
-    out, report = simulate(
-        CGMConvexHull(pts, args.v), _machine(args, alg.context_size()),
-        v=args.v, seed=args.seed,
+    out, report = _run(
+        args, CGMConvexHull(pts, args.v), _machine(args, alg.context_size()),
+        v=args.v,
     )
     _report(f"2D hull of {args.n} points: {len(out[0])} vertices", report, args.n)
     return 0
@@ -167,9 +218,9 @@ def cmd_delaunay(args) -> int:
 
     pts = workloads.random_points(args.n, seed=args.seed)
     alg = CGMDelaunay(pts, args.v)
-    out, report = simulate(
-        CGMDelaunay(pts, args.v), _machine(args, alg.context_size()),
-        v=args.v, seed=args.seed,
+    out, report = _run(
+        args, CGMDelaunay(pts, args.v), _machine(args, alg.context_size()),
+        v=args.v,
     )
     ntris = sum(len(part) for part in out)
     _report(f"Delaunay triangulation of {args.n} points: {ntris} triangles",
@@ -192,10 +243,7 @@ def cmd_machines(args) -> int:
         ("cluster   p=4 D=2 B=64", 4, 2, 64),
     ):
         machine = MachineParams(p=p, M=2 * mu, D=D, B=B, b=B, G=args.G)
-        _, rep = simulate(
-            CGMPermutation(vals, perm, args.v), machine, v=args.v,
-            seed=args.seed,
-        )
+        _, rep = _run(args, CGMPermutation(vals, perm, args.v), machine, v=args.v)
         print(f"{name:<30}{rep.io_ops:>8}{rep.ledger.total_comm_packets:>9}"
               f"{rep.ledger.total_time():>12.0f}")
     return 0
@@ -220,6 +268,14 @@ def main(argv=None) -> int:
                        help="memory per processor (default: 2 contexts)")
         p.add_argument("--G", type=float, default=1.0, help="I/O cost coefficient")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--backend", choices=("inline", "process"), default="inline",
+                       help="parallel-engine backend (used when p > 1)")
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event file (Perfetto-loadable)")
+        p.add_argument("--jsonl-out", metavar="FILE", default=None,
+                       help="write the raw telemetry as JSON lines")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the run's metrics registry")
 
     for name, fn, extra in (
         ("sort", cmd_sort, ["--compare-baselines"]),
@@ -241,7 +297,9 @@ def main(argv=None) -> int:
         p.set_defaults(func=fn)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    rc = args.func(args)
+    _export_obs(args)
+    return rc
 
 
 if __name__ == "__main__":

@@ -31,6 +31,8 @@ inline engine's recovery semantics.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Sequence
 
 __all__ = ["InlineBackend", "ProcessBackend", "make_backend"]
@@ -40,6 +42,9 @@ class InlineBackend:
     """Run the real processors in-process, in index order (the reference)."""
 
     name = "inline"
+    #: Pipe traffic counters (always zero inline; see ProcessBackend).
+    tx_bytes = 0
+    rx_bytes = 0
 
     def __init__(self, procs: Sequence[Any]):
         self.procs = list(procs)
@@ -90,6 +95,11 @@ class ProcessBackend:
     def __init__(self, init_args_list: Sequence[tuple]):
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        # Exact pipe traffic: the engine side pickles/unpickles explicitly
+        # (byte-compatible with the workers' plain Connection.send/recv), so
+        # every command and reply is counted once, with no double pickling.
+        self.tx_bytes = 0
+        self.rx_bytes = 0
         self._conns = []
         self._workers = []
         for init_args in init_args_list:
@@ -108,7 +118,9 @@ class ProcessBackend:
         results: list = []
         first_err: BaseException | None = None
         for conn in self._conns:
-            status, payload = conn.recv()
+            buf = conn.recv_bytes()
+            self.rx_bytes += len(buf)
+            status, payload = pickle.loads(buf)
             if status == "err":
                 results.append(None)
                 if first_err is None:
@@ -125,7 +137,9 @@ class ProcessBackend:
         if args_list is None:
             args_list = [()] * len(self._conns)
         for conn, args in zip(self._conns, args_list):
-            conn.send((method, args))
+            buf = ForkingPickler.dumps((method, args))
+            self.tx_bytes += len(buf)
+            conn.send_bytes(buf)
         return self._recv_all()
 
     def close(self) -> None:

@@ -87,6 +87,10 @@ class ContextStore:
         self._used = [0] * nslots
         self.cache = bool(cache) and array.injector is None
         self._cached: list[bytes | None] = [None] * nslots
+        # Cheap always-on tallies, sampled by the observability layer
+        # (repro.obs) as the context-cache hit rate.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def tracks_per_disk(self) -> int:
@@ -170,6 +174,7 @@ class ContextStore:
     def load_group(self, slots: Sequence[int]) -> list[Any]:
         """Read a whole group of contexts with jointly packed parallel ops."""
         if self.cache and all(self._cached[s] is not None for s in slots):
+            self.cache_hits += len(slots)
             counts = [self._used[s] for s in slots]
             addrs = self._slot_addrs(slots, counts)
             if self.array.fast_data_plane:
@@ -177,6 +182,7 @@ class ContextStore:
             else:
                 self.array.read_batched(addrs)  # physical read; data == cache
             return [pickle.loads(self._cached[s]) for s in slots]
+        self.cache_misses += len(slots)
         addrs = []
         counts = []
         for slot in slots:

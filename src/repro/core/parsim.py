@@ -67,6 +67,7 @@ from ..emio.diskarray import DiskArray
 from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
+from ..obs.spans import NULL_OBSERVER, Collector, NullObserver
 from ..params import ParameterError, SimulationParams
 from .backend import make_backend
 from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
@@ -99,6 +100,7 @@ class _RealProcessor:
         enforce_gamma: bool,
         context_cache: bool,
         fast_io: bool,
+        observe: bool = False,
     ):
         self.index = index
         self.algorithm = algorithm
@@ -130,6 +132,12 @@ class _RealProcessor:
         self.incoming: StripedRegion | None = None
         self.buckets: LinkedBuckets | None = None
         self.io_marker = 0
+        # Worker-side telemetry: spans/samples/metrics collected here and
+        # drained to the engine (over the pipe, under the process backend)
+        # by drain_obs() — per-worker visibility with zero cost when off.
+        self.obs: Collector | NullObserver = (
+            Collector(proc=index) if observe else NULL_OBSERVER
+        )
 
     # -- placement (local views of the engine's maps) --------------------------
 
@@ -160,15 +168,26 @@ class _RealProcessor:
         inj = self.array.injector
         return self.array.stall_ops + (inj.stats.stall_ops if inj else 0)
 
+    def _sample_disks(self, buckets: LinkedBuckets | None = None) -> None:
+        """One timestamped sample per local disk (pure counter reads)."""
+        for d, disk in enumerate(self.array.disks):
+            self.obs.sample(f"disk{d}/ops", disk.reads + disk.writes)
+            if buckets is not None:
+                depth = sum(len(buckets.table[b][d]) for b in range(buckets.nbuckets))
+                self.obs.sample(f"disk{d}/queue_depth", depth)
+
     # -- phase protocol (driven by the engine through a backend) ----------------
 
     def load_input(self) -> int:
         alg = self.algorithm
-        for j in range(self.nbatches):
-            vps = self.round_vps(j)
-            states = [alg.initial_state(vp, self.v) for vp in vps]
-            self.contexts.save_group(self._round_slots(j), states)
-        return self.io_delta()
+        with self.obs.span("load_input") as sp:
+            for j in range(self.nbatches):
+                vps = self.round_vps(j)
+                states = [alg.initial_state(vp, self.v) for vp in vps]
+                self.contexts.save_group(self._round_slots(j), states)
+            delta = self.io_delta()
+            sp.add(io_ops=delta)
+        return delta
 
     def begin_superstep(self) -> tuple[int, int]:
         """Open a compound superstep; returns (retry_ops, stall_ops) marks."""
@@ -184,18 +203,21 @@ class _RealProcessor:
 
     def fetch(self, j: int) -> tuple[dict[int, list[Block]], int]:
         """Step 1(a): read batch ``j``'s blocks, grouped by owning processor."""
-        if self.incoming is not None:
-            blks = [
-                blk
-                for blk in self.incoming.read_slot(j)
-                if blk is not None and not blk.dummy
-            ]
-        else:
-            blks = []
-        by_owner: dict[int, list[Block]] = {}
-        for blk in blks:
-            by_owner.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
-        return by_owner, self.io_delta()
+        with self.obs.span("fetch", batch=j) as sp:
+            if self.incoming is not None:
+                blks = [
+                    blk
+                    for blk in self.incoming.read_slot(j)
+                    if blk is not None and not blk.dummy
+                ]
+            else:
+                blks = []
+            by_owner: dict[int, list[Block]] = {}
+            for blk in blks:
+                by_owner.setdefault(self.owner_of_vp(blk.dest), []).append(blk)
+            delta = self.io_delta()
+            sp.add(io_ops=delta, blocks=len(blks))
+        return by_owner, delta
 
     def compute(self, j: int, step: int, inbound: list[Block]) -> dict[str, Any]:
         """Step 1(b): run batch ``j``'s ``k`` virtual supersteps.
@@ -212,35 +234,41 @@ class _RealProcessor:
         for blk in inbound:
             per_vp_blocks[blk.dest].append(blk)
 
-        states = self.contexts.load_group(self._round_slots(j))
-        fetch_io = self.io_delta()
+        with self.obs.span("fetch_context", batch=j) as sp:
+            states = self.contexts.load_group(self._round_slots(j))
+            fetch_io = self.io_delta()
+            sp.add(io_ops=fetch_io)
 
         new_states: list[Any] = []
         packets: list[tuple[int, Packet]] = []
         comp = 0.0
         sent_records = 0
         halted = True
-        for vp, state in zip(vps, states):
-            msgs = blocks_to_messages(per_vp_blocks[vp])
-            if gamma is not None:
-                nrecv = sum(msg.size for msg in msgs)
-                if nrecv > gamma:
-                    raise AlgorithmError(
-                        f"vp {vp} received {nrecv} records in "
-                        f"superstep {step}, exceeding gamma={gamma}"
-                    )
-            ctx = VPContext(vp, self.v, step, state, msgs, comm_bound=gamma)
-            alg.superstep(ctx)
-            new_states.append(ctx.state)
-            if not ctx.halted:
-                halted = False
-            comp += ctx.comp_ops
-            sent_records += ctx.sent_records
-            for mi, msg in enumerate(ctx.outbox):
-                for pkt in message_to_packets(msg, m.b, mi):
-                    packets.append((self.rng.randrange(self.p), pkt))
-        self.contexts.save_group(self._round_slots(j), new_states)
-        save_io = self.io_delta()
+        with self.obs.span("compute", batch=j, step=step) as sp:
+            for vp, state in zip(vps, states):
+                msgs = blocks_to_messages(per_vp_blocks[vp])
+                if gamma is not None:
+                    nrecv = sum(msg.size for msg in msgs)
+                    if nrecv > gamma:
+                        raise AlgorithmError(
+                            f"vp {vp} received {nrecv} records in "
+                            f"superstep {step}, exceeding gamma={gamma}"
+                        )
+                ctx = VPContext(vp, self.v, step, state, msgs, comm_bound=gamma)
+                alg.superstep(ctx)
+                new_states.append(ctx.state)
+                if not ctx.halted:
+                    halted = False
+                comp += ctx.comp_ops
+                sent_records += ctx.sent_records
+                for mi, msg in enumerate(ctx.outbox):
+                    for pkt in message_to_packets(msg, m.b, mi):
+                        packets.append((self.rng.randrange(self.p), pkt))
+            sp.add(comp_ops=comp, packets=len(packets))
+        with self.obs.span("write_context", batch=j) as sp:
+            self.contexts.save_group(self._round_slots(j), new_states)
+            save_io = self.io_delta()
+            sp.add(io_ops=save_io)
         return {
             "packets": packets,
             "comp": comp,
@@ -253,28 +281,40 @@ class _RealProcessor:
     def write(self, j: int, packets: list[Packet]) -> tuple[int, int]:
         """Step 1(c): cut received packets into blocks, append to buckets."""
         m = self.params.machine
-        rblocks: list[Block] = []
-        for pkt in packets:
-            rblocks.extend(packet_to_blocks(pkt, m.B))
-        self.buckets.append_blocks(rblocks)
-        return len(rblocks), self.io_delta()
+        with self.obs.span("write_messages", batch=j) as sp:
+            rblocks: list[Block] = []
+            for pkt in packets:
+                rblocks.extend(packet_to_blocks(pkt, m.B))
+            self.buckets.append_blocks(rblocks)
+            delta = self.io_delta()
+            sp.add(io_ops=delta, blocks=len(rblocks), packets=len(packets))
+        return len(rblocks), delta
 
     def reorganize(self, step: int) -> tuple[RoutingStats, int]:
         """Step 2: Algorithm 2 on the local buckets."""
-        new_incoming, routing = simulate_routing(
-            self.array,
-            self.allocator,
-            self.buckets,
-            nslots=self.nbatches,
-            slot_of=self.batch_of_vp,
-            name=f"incoming@p{self.index}s{step + 1}",
-        )
-        self.buckets.free()
-        self.buckets = None
-        if self.incoming is not None:
-            self.incoming.free()
-        self.incoming = new_incoming
-        return routing, self.io_delta()
+        if self.obs.enabled:
+            self._sample_disks(self.buckets)
+        with self.obs.span("reorganize", step=step) as sp:
+            new_incoming, routing = simulate_routing(
+                self.array,
+                self.allocator,
+                self.buckets,
+                nslots=self.nbatches,
+                slot_of=self.batch_of_vp,
+                name=f"incoming@p{self.index}s{step + 1}",
+            )
+            self.buckets.free()
+            self.buckets = None
+            if self.incoming is not None:
+                self.incoming.free()
+            self.incoming = new_incoming
+            delta = self.io_delta()
+            sp.add(io_ops=delta, blocks=routing.total_blocks)
+        if self.obs.enabled:
+            self.obs.metrics.histogram("lemma2_load_ratio").record(
+                routing.max_load_ratio
+            )
+        return routing, delta
 
     def end_superstep(self) -> tuple[int, int]:
         return self.array.retry_ops, self.stall_total()
@@ -284,21 +324,30 @@ class _RealProcessor:
     def export_checkpoint(
         self, group_size: int
     ) -> tuple[bytes, bytes | None, Any, set[int], int]:
-        state_blob = freeze(self.contexts.export_all(group_size=group_size))
-        if self.incoming is not None:
-            blocks = self.incoming.read_slots(range(self.incoming.nslots))
-            inc_blob = freeze((self.incoming.slot_sizes, blocks))
-        else:
-            inc_blob = None
+        with self.obs.span("checkpoint") as sp:
+            state_blob = freeze(self.contexts.export_all(group_size=group_size))
+            if self.incoming is not None:
+                blocks = self.incoming.read_slots(range(self.incoming.nslots))
+                inc_blob = freeze((self.incoming.slot_sizes, blocks))
+            else:
+                inc_blob = None
+            delta = self.io_delta()
+            sp.add(io_ops=delta, bytes=len(state_blob))
         return (
             state_blob,
             inc_blob,
             self.rng.getstate(),
             set(self.array.dead_disks),
-            self.io_delta(),
+            delta,
         )
 
     def restore_checkpoint(
+        self, state_blob: bytes, inc_blob: bytes | None, rng_state: Any, step: int
+    ) -> int:
+        with self.obs.span("recover", step=step):
+            return self._restore_checkpoint(state_blob, inc_blob, rng_state, step)
+
+    def _restore_checkpoint(
         self, state_blob: bytes, inc_blob: bytes | None, rng_state: Any, step: int
     ) -> int:
         if self.buckets is not None:
@@ -326,12 +375,35 @@ class _RealProcessor:
 
     def collect_outputs(self) -> tuple[dict[int, Any], int, int]:
         alg = self.algorithm
-        outs: dict[int, Any] = {}
-        for j in range(self.nbatches):
-            vps = self.round_vps(j)
-            for vp, state in zip(vps, self.contexts.load_group(self._round_slots(j))):
-                outs[vp] = alg.output(vp, state)
-        return outs, self.io_delta(), self.allocator.high_water
+        with self.obs.span("collect_outputs") as sp:
+            outs: dict[int, Any] = {}
+            for j in range(self.nbatches):
+                vps = self.round_vps(j)
+                for vp, state in zip(
+                    vps, self.contexts.load_group(self._round_slots(j))
+                ):
+                    outs[vp] = alg.output(vp, state)
+            delta = self.io_delta()
+            sp.add(io_ops=delta)
+        return outs, delta, self.allocator.high_water
+
+    def drain_obs(self) -> dict | None:
+        """Ship the worker-side telemetry to the engine (picklable payload).
+
+        Samples final per-disk counters and the context-cache tallies first,
+        so the merged registry carries this processor's end-of-run state.
+        """
+        if not self.obs.enabled:
+            return None
+        self._sample_disks()
+        mx = self.obs.metrics
+        mx.counter("ctx_cache/hits").inc(self.contexts.cache_hits)
+        mx.counter("ctx_cache/misses").inc(self.contexts.cache_misses)
+        mx.gauge("disk_space_tracks").set(self.allocator.high_water)
+        if self.array.retry_ops or self.array.stall_ops:
+            mx.counter("retry_ops").inc(self.array.retry_ops)
+            mx.counter("stall_ops").inc(self.stall_total())
+        return self.obs.drain()
 
     def fault_stats(self) -> dict[str, int]:
         out = {
@@ -376,6 +448,14 @@ class ParallelEMSimulation:
     fast_io:
         Counted-cost-identical short-circuits in each processor's disk array
         (see :class:`~repro.emio.diskarray.DiskArray`).
+    observer:
+        Optional :class:`~repro.obs.spans.Collector`.  The engine emits
+        barrier-level spans (superstep > fetch/compute/write/reorganize) on
+        its own track; every real processor collects its own spans, samples,
+        and metrics worker-side — under the process backend they travel back
+        over the pipes — and the engine merges them into ``observer`` as one
+        coherent timeline (``perf_counter`` is host-wide monotonic).  Counted
+        costs, outputs, and reports are byte-identical with and without it.
     """
 
     def __init__(
@@ -393,6 +473,7 @@ class ParallelEMSimulation:
         backend: str = "inline",
         context_cache: bool = False,
         fast_io: bool = False,
+        observer: Collector | None = None,
     ):
         self.algorithm = algorithm
         self.params = params
@@ -405,6 +486,7 @@ class ParallelEMSimulation:
         self.retry = retry
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
+        self.obs = observer if observer is not None else NULL_OBSERVER
 
         m, s = params.machine, params.bsp
         self.p = m.p
@@ -428,6 +510,7 @@ class ParallelEMSimulation:
                 enforce_gamma,
                 context_cache,
                 fast_io,
+                observer is not None,
             )
             for i in range(self.p)
         ]
@@ -499,7 +582,9 @@ class ParallelEMSimulation:
     # -- run skeleton ---------------------------------------------------------------
 
     def _load_input(self) -> None:
-        self.report.init_io_ops = max(self.backend.call_all("load_input"))
+        with self.obs.span("load_input") as sp:
+            self.report.init_io_ops = max(self.backend.call_all("load_input"))
+            sp.add(io_ops=self.report.init_io_ops)
 
     def _run_from(self, start: int) -> None:
         step = start
@@ -510,7 +595,9 @@ class ParallelEMSimulation:
                     f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
             try:
-                finished = self._superstep(step)
+                with self.obs.span("superstep", step=step) as sp:
+                    finished = self._superstep(step)
+                    sp.add(io_ops=self.report.supersteps[-1].phases.total)
                 if not finished and self.checkpoint_enabled:
                     self._take_checkpoint(step + 1)
             except FATAL_IO_FAULTS as exc:
@@ -550,6 +637,10 @@ class ParallelEMSimulation:
     def _take_checkpoint(self, step: int) -> None:
         """Snapshot every processor's barrier state (charged as local reads;
         the model cost is the maximum over processors, like any phase)."""
+        with self.obs.span("checkpoint", step=step):
+            self._take_checkpoint_inner(step)
+
+    def _take_checkpoint_inner(self, step: int) -> None:
         exports = self.backend.call_all("export_checkpoint", [(self.k,)] * self.p)
         self.last_checkpoint = SuperstepCheckpoint(
             step=step,
@@ -563,18 +654,21 @@ class ParallelEMSimulation:
         self._checkpoint_io_ops += max(e[4] for e in exports)
 
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
-        self.report, self.ledger = thaw(ckpt.report_blob)
-        rngs = ckpt.rng_state
-        if not isinstance(rngs, list):
-            rngs = [rngs] * self.p
-        deltas = self.backend.call_all(
-            "restore_checkpoint",
-            [
-                (ckpt.proc_states[i], ckpt.proc_incoming[i], rngs[i], ckpt.step)
-                for i in range(self.p)
-            ],
-        )
-        self._recovery_io_ops += max(deltas)
+        with self.obs.span("recover", step=ckpt.step):
+            self.report, self.ledger = thaw(ckpt.report_blob)
+            rngs = ckpt.rng_state
+            if not isinstance(rngs, list):
+                rngs = [rngs] * self.p
+            deltas = self.backend.call_all(
+                "restore_checkpoint",
+                [
+                    (ckpt.proc_states[i], ckpt.proc_incoming[i], rngs[i], ckpt.step)
+                    for i in range(self.p)
+                ],
+            )
+            self._recovery_io_ops += max(deltas)
+        if self.obs.enabled:
+            self.obs.metrics.counter("recoveries").inc()
 
     # -- one compound superstep --------------------------------------------------------
 
@@ -588,11 +682,15 @@ class ParallelEMSimulation:
         all_halted = True
         blocks_generated = 0
 
+        obs = self.obs
         for j in range(self.nbatches):
             # ---- Fetching phase: local reads + gather h-relation ----
             # inbound[q] = blocks for processor q's current k vps.
-            fetches = self.backend.call_all("fetch", [(j,)] * self.p)
-            phases.fetch_messages += max(io for _by, io in fetches)
+            with obs.span("fetch_barrier", batch=j) as sp:
+                fetches = self.backend.call_all("fetch", [(j,)] * self.p)
+                d = max(io for _by, io in fetches)
+                phases.fetch_messages += d
+                sp.add(io_ops=d)
             inbound: list[list[Block]] = [[] for _ in range(self.p)]
             sent_pk = [0] * self.p
             recv_pk = [0] * self.p
@@ -608,9 +706,11 @@ class ParallelEMSimulation:
             cost.syncs += 1
 
             # ---- Computing phase (incl. local context swaps) ----
-            computes = self.backend.call_all(
-                "compute", [(j, step, inbound[q]) for q in range(self.p)]
-            )
+            with obs.span("compute_barrier", batch=j) as sp:
+                computes = self.backend.call_all(
+                    "compute", [(j, step, inbound[q]) for q in range(self.p)]
+                )
+                sp.add(comp_ops=max(r["comp"] for r in computes))
             phases.fetch_context += max(r["fetch_io"] for r in computes)
             phases.write_context += max(r["save_io"] for r in computes)
             cost.comp_ops += max(r["comp"] for r in computes)
@@ -631,15 +731,21 @@ class ParallelEMSimulation:
                 scatter_sent[q] + scatter_recv[q] for q in range(self.p)
             )
             cost.syncs += 1
-            writes = self.backend.call_all(
-                "write", [(j, outpackets[q]) for q in range(self.p)]
-            )
+            with obs.span("write_barrier", batch=j) as sp:
+                writes = self.backend.call_all(
+                    "write", [(j, outpackets[q]) for q in range(self.p)]
+                )
+                d = max(io for _n, io in writes)
+                sp.add(io_ops=d, packets=sum(scatter_sent))
             blocks_generated += sum(n for n, _io in writes)
-            phases.write_messages += max(io for _n, io in writes)
+            phases.write_messages += d
 
         # ---- Step 2: local reorganization on every processor ----
-        reorgs = self.backend.call_all("reorganize", [(step,)] * self.p)
-        phases.reorganize += max(io for _r, io in reorgs)
+        with obs.span("reorganize_barrier") as sp:
+            reorgs = self.backend.call_all("reorganize", [(step,)] * self.p)
+            d = max(io for _r, io in reorgs)
+            sp.add(io_ops=d)
+        phases.reorganize += d
         cost.syncs += 1
         worst_routing: RoutingStats | None = None
         for routing, _io in reorgs:
@@ -664,6 +770,16 @@ class ParallelEMSimulation:
                 halted=all_halted,
             )
         )
+        if obs.enabled:
+            mx = obs.metrics
+            if worst_routing is not None and worst_routing.total_blocks:
+                mx.histogram("lemma2_load_ratio").record(worst_routing.max_load_ratio)
+            mx.histogram("superstep_io_ops").record(phases.total)
+            mx.counter("comm_packets").inc(cost.comm_packets)
+            mx.counter("message_blocks").inc(blocks_generated)
+            if cost.retry_ops or cost.stall_ops:
+                mx.counter("retry_ops").inc(cost.retry_ops)
+                mx.counter("stall_ops").inc(cost.stall_ops)
         return all_halted and blocks_generated == 0
 
     # -- wrap-up ---------------------------------------------------------------------
@@ -673,7 +789,8 @@ class ParallelEMSimulation:
         self.report.ledger = self.ledger
 
         # ---- unload output ----
-        collected = self.backend.call_all("collect_outputs")
+        with self.obs.span("collect_outputs"):
+            collected = self.backend.call_all("collect_outputs")
         outputs: list[Any] = [None] * self.v
         for outs, _io, _hw in collected:
             for vp, out in outs.items():
@@ -681,6 +798,19 @@ class ParallelEMSimulation:
         self.report.output_io_ops = max(io for _o, io, _hw in collected)
         self.report.disk_space_tracks = max(hw for _o, _io, hw in collected)
         self._attach_fault_report()
+        if self.obs.enabled:
+            # Pull every worker-side collector's telemetry into the engine's
+            # (one coherent merged timeline; see Collector.ingest).
+            for payload in self.backend.call_all("drain_obs"):
+                if payload is not None:
+                    self.obs.ingest(payload)
+            mx = self.obs.metrics
+            mx.gauge("disk_space_tracks").set(self.report.disk_space_tracks)
+            tx = getattr(self.backend, "tx_bytes", 0)
+            rx = getattr(self.backend, "rx_bytes", 0)
+            if tx or rx:
+                mx.counter("backend/tx_bytes").inc(tx)
+                mx.counter("backend/rx_bytes").inc(rx)
         return outputs, self.report
 
     def _attach_fault_report(self) -> None:

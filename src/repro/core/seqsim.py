@@ -48,6 +48,7 @@ from ..emio.diskarray import DiskArray
 from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
+from ..obs.spans import NULL_OBSERVER, Collector
 from ..params import ParameterError, SimulationParams
 from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
 from .context import ContextStore
@@ -107,6 +108,12 @@ class SequentialEMSimulation:
         Enable the disk array's fast data plane — counted-cost-identical
         short-circuits of the parallel primitives, legal only on a healthy,
         untraced array (auto-disabled otherwise).
+    observer:
+        Optional :class:`~repro.obs.spans.Collector` receiving nested spans
+        (superstep > phase), per-disk counter samples, and run metrics.
+        Purely read-only at phase boundaries: counted costs, outputs, and
+        reports are byte-identical with and without it, and the fast data
+        plane stays available (unlike :meth:`repro.emio.trace.IOTrace.attach`).
     """
 
     def __init__(
@@ -124,6 +131,7 @@ class SequentialEMSimulation:
         max_recoveries: int = 8,
         context_cache: bool = False,
         fast_io: bool = False,
+        observer: Collector | None = None,
     ):
         if params.machine.p != 1:
             raise ParameterError(
@@ -139,6 +147,7 @@ class SequentialEMSimulation:
         )
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
+        self.obs = observer if observer is not None else NULL_OBSERVER
 
         m = params.machine
         self.array = DiskArray(
@@ -185,6 +194,18 @@ class SequentialEMSimulation:
         k = self.params.k
         return list(range(g * k, (g + 1) * k))
 
+    def _sample_disks(self, buckets: LinkedBuckets | None = None) -> None:
+        """Emit one timestamped sample per disk (cumulative ops, queue depth).
+
+        Pure reads of counters the array maintains anyway, so sampling can
+        never perturb the counted costs; called only when ``obs.enabled``.
+        """
+        for d, disk in enumerate(self.array.disks):
+            self.obs.sample(f"disk{d}/ops", disk.reads + disk.writes)
+            if buckets is not None:
+                depth = sum(len(buckets.table[b][d]) for b in range(buckets.nbuckets))
+                self.obs.sample(f"disk{d}/queue_depth", depth)
+
     # -- main entry ------------------------------------------------------------------
 
     def run(self) -> tuple[list[Any], SimulationReport]:
@@ -222,12 +243,14 @@ class SequentialEMSimulation:
     def _load_input(self) -> None:
         """Create and store the initial contexts, ``k`` at a time."""
         alg, v = self.algorithm, self.params.bsp.v
-        ops0 = self.array.parallel_ops
-        for g in range(self.groups):
-            slots = self._group_slots(g)
-            states = [alg.initial_state(pid, v) for pid in slots]
-            self.contexts.save_group(slots, states)
-        self.report.init_io_ops = self._io_delta(ops0)
+        with self.obs.span("load_input") as sp:
+            ops0 = self.array.parallel_ops
+            for g in range(self.groups):
+                slots = self._group_slots(g)
+                states = [alg.initial_state(pid, v) for pid in slots]
+                self.contexts.save_group(slots, states)
+            self.report.init_io_ops = self._io_delta(ops0)
+            sp.add(io_ops=self.report.init_io_ops)
 
     def _run_from(self, start: int) -> None:
         """Drive supersteps from ``start``, recovering from fatal faults."""
@@ -239,7 +262,9 @@ class SequentialEMSimulation:
                     f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
             try:
-                finished = self._superstep(step)
+                with self.obs.span("superstep", step=step) as sp:
+                    finished = self._superstep(step)
+                    sp.add(io_ops=self.report.supersteps[-1].phases.total)
                 if not finished and self.checkpoint_enabled:
                     self._take_checkpoint(step + 1)
             except FATAL_IO_FAULTS as exc:
@@ -286,50 +311,60 @@ class SequentialEMSimulation:
         pickled snapshot on the host side is free, like writing it to a
         durable service outside the machine model.
         """
-        ops0 = self.array.parallel_ops
-        states = self.contexts.export_all(group_size=self.params.k)
-        if self._incoming is not None:
-            inc = self._incoming
-            blocks = inc.read_slots(range(inc.nslots))
-            inc_blob = freeze((inc.slot_sizes, blocks))
-        else:
-            inc_blob = None
-        self.last_checkpoint = SuperstepCheckpoint(
-            step=step,
-            rng_state=self.rng.getstate(),
-            proc_states=[freeze(states)],
-            proc_incoming=[inc_blob],
-            report_blob=freeze((self.report, self.ledger)),
-            dead_disks=[set(self.array.dead_disks)],
-        )
-        self._checkpoints_taken += 1
-        self._checkpoint_io_ops += self._io_delta(ops0)
+        with self.obs.span("checkpoint", step=step) as sp:
+            ops0 = self.array.parallel_ops
+            states = self.contexts.export_all(group_size=self.params.k)
+            if self._incoming is not None:
+                inc = self._incoming
+                blocks = inc.read_slots(range(inc.nslots))
+                inc_blob = freeze((inc.slot_sizes, blocks))
+            else:
+                inc_blob = None
+            self.last_checkpoint = SuperstepCheckpoint(
+                step=step,
+                rng_state=self.rng.getstate(),
+                proc_states=[freeze(states)],
+                proc_incoming=[inc_blob],
+                report_blob=freeze((self.report, self.ledger)),
+                dead_disks=[set(self.array.dead_disks)],
+            )
+            self._checkpoints_taken += 1
+            delta = self._io_delta(ops0)
+            self._checkpoint_io_ops += delta
+            sp.add(io_ops=delta, bytes=self.last_checkpoint.size_bytes())
 
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
         """Rewrite the checkpointed barrier state onto the (possibly
         degraded) disk array and rewind report, ledger, and RNG."""
-        ops0 = self.array.parallel_ops
-        # Drop partial superstep state.  Scratch leaked by an interrupted
-        # reorganization stays allocated (it only inflates the space high
-        # water, like a real crash leaving unreclaimed sectors).
-        if self._buckets is not None:
-            self._buckets.free()
-            self._buckets = None
-        if self._incoming is not None:
-            self._incoming.free()
-            self._incoming = None
-        self.report, self.ledger = thaw(ckpt.report_blob)
-        self.rng.setstate(ckpt.rng_state)
-        self.contexts.import_all(thaw(ckpt.proc_states[0]), group_size=self.params.k)
-        if ckpt.proc_incoming[0] is not None:
-            slot_sizes, blocks = thaw(ckpt.proc_incoming[0])
-            region = StripedRegion(
-                self.array, self.allocator, slot_sizes,
-                name=f"incoming@resume{ckpt.step}",
+        with self.obs.span("recover", step=ckpt.step) as sp:
+            ops0 = self.array.parallel_ops
+            # Drop partial superstep state.  Scratch leaked by an interrupted
+            # reorganization stays allocated (it only inflates the space high
+            # water, like a real crash leaving unreclaimed sectors).
+            if self._buckets is not None:
+                self._buckets.free()
+                self._buckets = None
+            if self._incoming is not None:
+                self._incoming.free()
+                self._incoming = None
+            self.report, self.ledger = thaw(ckpt.report_blob)
+            self.rng.setstate(ckpt.rng_state)
+            self.contexts.import_all(
+                thaw(ckpt.proc_states[0]), group_size=self.params.k
             )
-            region.write_slots(range(region.nslots), blocks)
-            self._incoming = region
-        self._recovery_io_ops += self._io_delta(ops0)
+            if ckpt.proc_incoming[0] is not None:
+                slot_sizes, blocks = thaw(ckpt.proc_incoming[0])
+                region = StripedRegion(
+                    self.array, self.allocator, slot_sizes,
+                    name=f"incoming@resume{ckpt.step}",
+                )
+                region.write_slots(range(region.nslots), blocks)
+                self._incoming = region
+            delta = self._io_delta(ops0)
+            self._recovery_io_ops += delta
+            sp.add(io_ops=delta)
+        if self.obs.enabled:
+            self.obs.metrics.counter("recoveries").inc()
 
     # -- one compound superstep --------------------------------------------------------
 
@@ -359,45 +394,55 @@ class SequentialEMSimulation:
         recv_packets = [0] * v
         dummy_rr = 0
 
+        obs = self.obs
         for g in range(self.groups):
             slots = self._group_slots(g)
 
             # -- Fetching phase: Step 1(a) contexts, Step 1(b) messages --
-            t = self.array.parallel_ops
-            states = self.contexts.load_group(slots)
-            phases.fetch_context += self._io_delta(t)
+            with obs.span("fetch_context", group=g) as sp:
+                t = self.array.parallel_ops
+                states = self.contexts.load_group(slots)
+                d = self._io_delta(t)
+                phases.fetch_context += d
+                sp.add(io_ops=d)
 
-            t = self.array.parallel_ops
-            if self._incoming is not None:
-                group_blocks = self._incoming.read_slots(slots)
-            else:
-                group_blocks = [[] for _ in slots]
-            phases.fetch_messages += self._io_delta(t)
+            with obs.span("fetch_messages", group=g) as sp:
+                t = self.array.parallel_ops
+                if self._incoming is not None:
+                    group_blocks = self._incoming.read_slots(slots)
+                else:
+                    group_blocks = [[] for _ in slots]
+                d = self._io_delta(t)
+                phases.fetch_messages += d
+                sp.add(io_ops=d)
 
             # -- Computation phase: Step 1(c) --
             group_out_blocks: list[Block] = []
             new_states = []
-            for pid, state, blks in zip(slots, states, group_blocks):
-                msgs = blocks_to_messages(blks)
-                if gamma is not None:
-                    nrecv = sum(m.size for m in msgs)
-                    if nrecv > gamma:
-                        raise AlgorithmError(
-                            f"vp {pid} received {nrecv} records in superstep "
-                            f"{step}, exceeding gamma={gamma}"
-                        )
-                ctx = VPContext(pid, v, step, state, msgs, comm_bound=gamma)
-                alg.superstep(ctx)
-                new_states.append(ctx.state)
-                if not ctx.halted:
-                    all_halted = False
-                cost.comp_ops += ctx.comp_ops
-                for mi, m in enumerate(ctx.outbox):
-                    pk = packets_for(max(m.size, 1), p.machine.b)
-                    sent_packets[pid] += pk
-                    recv_packets[m.dest] += pk
-                    cost.records_sent += m.size
-                    group_out_blocks.extend(message_to_blocks(m, B, mi))
+            with obs.span("compute", group=g) as sp:
+                comp0 = cost.comp_ops
+                for pid, state, blks in zip(slots, states, group_blocks):
+                    msgs = blocks_to_messages(blks)
+                    if gamma is not None:
+                        nrecv = sum(m.size for m in msgs)
+                        if nrecv > gamma:
+                            raise AlgorithmError(
+                                f"vp {pid} received {nrecv} records in superstep "
+                                f"{step}, exceeding gamma={gamma}"
+                            )
+                    ctx = VPContext(pid, v, step, state, msgs, comm_bound=gamma)
+                    alg.superstep(ctx)
+                    new_states.append(ctx.state)
+                    if not ctx.halted:
+                        all_halted = False
+                    cost.comp_ops += ctx.comp_ops
+                    for mi, m in enumerate(ctx.outbox):
+                        pk = packets_for(max(m.size, 1), p.machine.b)
+                        sent_packets[pid] += pk
+                        recv_packets[m.dest] += pk
+                        cost.records_sent += m.size
+                        group_out_blocks.extend(message_to_blocks(m, B, mi))
+                sp.add(comp_ops=cost.comp_ops - comp0)
 
             # -- Writing phase: Step 1(d) messages, Step 1(e) contexts --
             if self.pad_to_gamma:
@@ -407,26 +452,37 @@ class SequentialEMSimulation:
                         Block(records=[], dest=dummy_rr % v, dummy=True)
                     )
                     dummy_rr += 1
-            t = self.array.parallel_ops
-            buckets.append_blocks(group_out_blocks)
-            phases.write_messages += self._io_delta(t)
+            with obs.span("write_messages", group=g) as sp:
+                t = self.array.parallel_ops
+                buckets.append_blocks(group_out_blocks)
+                d = self._io_delta(t)
+                phases.write_messages += d
+                sp.add(io_ops=d, blocks=len(group_out_blocks))
             blocks_generated += sum(0 if b.dummy else 1 for b in group_out_blocks)
 
-            t = self.array.parallel_ops
-            self.contexts.save_group(slots, new_states)
-            phases.write_context += self._io_delta(t)
+            with obs.span("write_context", group=g) as sp:
+                t = self.array.parallel_ops
+                self.contexts.save_group(slots, new_states)
+                d = self._io_delta(t)
+                phases.write_context += d
+                sp.add(io_ops=d)
 
         # -- Step 2: reorganize the generated blocks (Algorithm 2) --
-        t = self.array.parallel_ops
-        new_incoming, routing = simulate_routing(
-            self.array,
-            self.allocator,
-            buckets,
-            nslots=v,
-            slot_of=lambda dest: dest,
-            name=f"incoming@{step + 1}",
-        )
-        phases.reorganize += self._io_delta(t)
+        if obs.enabled:
+            self._sample_disks(buckets)
+        with obs.span("reorganize") as sp:
+            t = self.array.parallel_ops
+            new_incoming, routing = simulate_routing(
+                self.array,
+                self.allocator,
+                buckets,
+                nslots=v,
+                slot_of=lambda dest: dest,
+                name=f"incoming@{step + 1}",
+            )
+            d = self._io_delta(t)
+            phases.reorganize += d
+            sp.add(io_ops=d, blocks=routing.total_blocks)
         buckets.free()
         self._buckets = None
         if self._incoming is not None:
@@ -453,6 +509,15 @@ class SequentialEMSimulation:
                 halted=all_halted,
             )
         )
+        if obs.enabled:
+            mx = obs.metrics
+            mx.histogram("lemma2_load_ratio").record(routing.max_load_ratio)
+            mx.histogram("superstep_io_ops").record(phases.total)
+            mx.counter("comm_packets").inc(cost.comm_packets)
+            mx.counter("message_blocks").inc(blocks_generated)
+            if cost.retry_ops or cost.stall_ops:
+                mx.counter("retry_ops").inc(cost.retry_ops)
+                mx.counter("stall_ops").inc(cost.stall_ops)
         return all_halted and blocks_generated == 0
 
     # -- wrap-up ---------------------------------------------------------------------
@@ -463,14 +528,22 @@ class SequentialEMSimulation:
         self.report.ledger = self.ledger
 
         # ---- unload output, k contexts at a time ----
-        ops0 = self.array.parallel_ops
-        outputs: list[Any] = []
-        for g in range(self.groups):
-            slots = self._group_slots(g)
-            for pid, state in zip(slots, self.contexts.load_group(slots)):
-                outputs.append(alg.output(pid, state))
-        self.report.output_io_ops = self._io_delta(ops0)
+        with self.obs.span("collect_outputs") as sp:
+            ops0 = self.array.parallel_ops
+            outputs: list[Any] = []
+            for g in range(self.groups):
+                slots = self._group_slots(g)
+                for pid, state in zip(slots, self.contexts.load_group(slots)):
+                    outputs.append(alg.output(pid, state))
+            self.report.output_io_ops = self._io_delta(ops0)
+            sp.add(io_ops=self.report.output_io_ops)
         self.report.disk_space_tracks = self.allocator.high_water
+        if self.obs.enabled:
+            self._sample_disks()
+            mx = self.obs.metrics
+            mx.gauge("disk_space_tracks").set(self.report.disk_space_tracks)
+            mx.counter("ctx_cache/hits").inc(self.contexts.cache_hits)
+            mx.counter("ctx_cache/misses").inc(self.contexts.cache_misses)
         self._attach_fault_report()
         return outputs, self.report
 

@@ -14,6 +14,7 @@ from typing import Any, Literal
 
 from ..bsp.program import BSPAlgorithm
 from ..emio.faults import FaultPlan, RetryPolicy
+from ..obs.spans import Collector
 from ..params import BSPParams, MachineParams, SimulationParams
 from .parsim import ParallelEMSimulation
 from .seqsim import SequentialEMSimulation
@@ -57,6 +58,7 @@ def simulate(
     backend: Literal["inline", "process"] = "inline",
     context_cache: bool = False,
     fast_io: bool = False,
+    observer: Collector | None = None,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -96,6 +98,15 @@ def simulate(
         Short-circuit the disk arrays' data plane when no faults, traces, or
         dead disks are active (see :class:`~repro.emio.diskarray.DiskArray`).
         Counters and stored blocks stay identical; only wall-clock changes.
+    observer:
+        A :class:`~repro.obs.spans.Collector` receiving structured telemetry:
+        nested spans per superstep/phase with wall-clock timing and counted
+        I/O attributes, per-disk counter samples, and run metrics (see
+        :mod:`repro.obs`).  Under the process backend, per-worker spans are
+        merged into one coherent timeline.  Attaching an observer never
+        changes counted costs, outputs, or reports, and does not force the
+        arrays off the fast data plane; export with
+        :func:`repro.obs.write_chrome_trace` / :func:`repro.obs.write_jsonl`.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -117,6 +128,7 @@ def simulate(
         max_recoveries=max_recoveries,
         context_cache=context_cache,
         fast_io=fast_io,
+        observer=observer,
         **engine_kwargs,
     )
     if engine == "sequential":

@@ -19,6 +19,16 @@ participated, keeping :meth:`IOTrace.utilization` honest.
     ... run something ...
     print(trace.render())
     print(f"mean utilization: {trace.utilization():.0%}")
+
+Past ``limit`` operations the trace stops storing (``dropped`` counts what
+was missed, and :meth:`IOTrace.render` flags the truncation).
+:meth:`IOTrace.detach` restores the array's physical-attempt primitives and
+clears ``hooked`` — re-enabling the fast data plane — and the trace is a
+context manager that detaches on exit::
+
+    with IOTrace.attach(array) as trace:
+        ... run something ...
+    print(trace.render())  # array untraced again here
 """
 
 from __future__ import annotations
@@ -47,6 +57,13 @@ class IOTrace:
     D: int
     ops: list[TraceOp] = field(default_factory=list)
     limit: int = 100_000
+    #: operations past ``limit`` that were executed but not stored
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        self._array: DiskArray | None = None
+        self._orig_read = None
+        self._orig_write = None
 
     @classmethod
     def attach(cls, array: DiskArray, limit: int = 100_000) -> "IOTrace":
@@ -58,11 +75,20 @@ class IOTrace:
         array.hooked = True
         orig_read = array._attempt_read
         orig_write = array._attempt_write
+        trace._array = array
+        trace._orig_read = orig_read
+        trace._orig_write = orig_write
+
+        def record(op: TraceOp) -> None:
+            if len(trace.ops) < trace.limit:
+                trace.ops.append(op)
+            else:
+                trace.dropped += 1
 
         def traced_read(addrs, retry=False):
             addrs = list(addrs)
-            if addrs and len(trace.ops) < trace.limit:
-                trace.ops.append(
+            if addrs:
+                record(
                     TraceOp(
                         "R",
                         tuple(d for d, _t in addrs),
@@ -74,8 +100,8 @@ class IOTrace:
 
         def traced_write(ops, retry=False):
             ops = list(ops)
-            if ops and len(trace.ops) < trace.limit:
-                trace.ops.append(
+            if ops:
+                record(
                     TraceOp(
                         "W",
                         tuple(d for d, _t, _b in ops),
@@ -88,6 +114,29 @@ class IOTrace:
         array._attempt_read = traced_read  # type: ignore[method-assign]
         array._attempt_write = traced_write  # type: ignore[method-assign]
         return trace
+
+    def detach(self) -> None:
+        """Restore the array's physical-attempt primitives and un-hook it.
+
+        Idempotent; safe on a never-attached trace.  After detaching, the
+        array's fast data plane is available again (if it was enabled) and
+        further operations are not recorded.
+        """
+        array = self._array
+        if array is None:
+            return
+        array._attempt_read = self._orig_read  # type: ignore[method-assign]
+        array._attempt_write = self._orig_write  # type: ignore[method-assign]
+        array.hooked = False
+        self._array = None
+        self._orig_read = None
+        self._orig_write = None
+
+    def __enter__(self) -> "IOTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
 
     # -- analysis -------------------------------------------------------------------
 
@@ -107,6 +156,7 @@ class IOTrace:
             "reads": reads,
             "writes": len(self.ops) - reads,
             "retries": sum(1 for op in self.ops if op.retry),
+            "dropped": self.dropped,
             "disk_accesses": sum(len(op.disks) for op in self.ops),
             "utilization": self.utilization(),
         }
@@ -125,8 +175,9 @@ class IOTrace:
                 for op in window
             )
             lines.append(f"disk {d:>2} |{row}|")
+        truncated = f" ({self.dropped} ops dropped past limit)" if self.dropped else ""
         lines.append(
             f"          ops {start}..{start + len(window)} of {len(self.ops)}, "
-            f"utilization {self.utilization():.0%}"
+            f"utilization {self.utilization():.0%}{truncated}"
         )
         return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Observability: structured run telemetry for the simulation engines.
+
+The paper's argument is an accounting argument — Theorem 1 bounds I/O time
+phase-by-phase through Algorithm 1's fetch/compute/route cycle.  This package
+makes that accounting *visible inside a run*:
+
+* :mod:`repro.obs.spans` — a span API (``collector.span("superstep", index=i)``)
+  that the engines, routing, context store, checkpoint/recovery, and disk
+  arrays emit into, with parent/child nesting, wall-clock timing, and counted
+  cost attributes per span.
+* :mod:`repro.obs.metrics` — a lightweight metrics registry (counters, gauges,
+  log2 histograms) with near-zero overhead when no collector is attached
+  (the :data:`NULL_OBSERVER` fast path).
+* :mod:`repro.obs.export` — exporters: a JSONL event log and the Chrome
+  trace-event format (loadable in Perfetto / ``chrome://tracing``), one track
+  per real processor plus per-disk counter tracks.
+
+Attach via ``simulate(..., observer=Collector())`` or the CLI flags
+``--trace-out FILE`` / ``--jsonl-out FILE`` / ``--metrics``.
+
+The layer honors the dual-accounting invariant: attaching an observer never
+changes any counted cost — spans only *read* the arrays' counters at phase
+boundaries, so ledgers, routing stats, and outputs stay byte-identical, and
+(unlike :meth:`~repro.emio.trace.IOTrace.attach`) the disk arrays' fast data
+plane stays enabled.
+"""
+
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NULL_OBSERVER, Collector, NullObserver, SpanRecord
+
+__all__ = [
+    "Collector",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "SpanRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]

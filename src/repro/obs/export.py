@@ -1,0 +1,269 @@
+"""Exporters: JSONL event log and Chrome trace-event format.
+
+The JSONL log is the lossless form — one JSON object per line (a ``meta``
+header, then ``span`` / ``sample`` / ``metric`` records) — meant for ad-hoc
+``jq``/pandas analysis and for round-tripping (:func:`read_jsonl` restores
+the structured view).
+
+The Chrome trace is the visual form: :func:`chrome_trace` produces a JSON
+object in the trace-event format that Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing`` load directly — complete ``X`` (duration) events on one
+track per real processor plus the engine track, and ``C`` (counter) events
+for the timestamped samples, one counter track per disk.  Timestamps are
+normalized to microseconds since the first recorded event, as the format
+expects.
+
+:func:`validate_chrome_trace` / :func:`validate_trace_file` check a produced
+trace against the subset of the trace-event schema this exporter emits; CI's
+observability smoke job runs the file validator on a real instrumented run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .spans import Collector, SpanRecord
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]
+
+JSONL_VERSION = 1
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def _span_obj(i: int, s: SpanRecord) -> dict:
+    return {
+        "type": "span",
+        "id": i,
+        "name": s.name,
+        "parent": s.parent,
+        "proc": s.proc,
+        "t0": s.t0,
+        "t1": s.t1,
+        "attrs": s.attrs,
+    }
+
+
+def write_jsonl(collector: Collector, path: str) -> int:
+    """Write the collector's contents as JSON lines; returns the line count."""
+    lines = [
+        {
+            "type": "meta",
+            "version": JSONL_VERSION,
+            "clock": "perf_counter",
+            "nspans": len(collector.spans),
+            "nsamples": len(collector.samples),
+            "nmetrics": len(collector.metrics),
+        }
+    ]
+    lines.extend(_span_obj(i, s) for i, s in enumerate(collector.spans))
+    lines.extend(
+        {"type": "sample", "t": t, "name": name, "value": value}
+        for t, name, value in collector.samples
+    )
+    lines.extend(
+        {
+            "type": "metric",
+            "name": name,
+            "kind": data["type"],
+            **{k: v for k, v in data.items() if k != "type"},
+        }
+        for name, data in collector.metrics.snapshot().items()
+    )
+    with open(path, "w") as fh:
+        for obj in lines:
+            fh.write(json.dumps(obj) + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> dict:
+    """Parse a :func:`write_jsonl` file back into a structured view.
+
+    Returns ``{"meta": ..., "spans": [...], "samples": [...], "metrics":
+    {name: ...}}`` with spans in id order; raises :class:`ValueError` on a
+    malformed or version-mismatched file.
+    """
+    meta: dict | None = None
+    spans: list[dict] = []
+    samples: list[dict] = []
+    metrics: dict[str, dict] = {}
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = obj.get("type")
+            if kind == "meta":
+                if obj.get("version") != JSONL_VERSION:
+                    raise ValueError(
+                        f"{path}: version {obj.get('version')} != {JSONL_VERSION}"
+                    )
+                meta = obj
+            elif kind == "span":
+                spans.append(obj)
+            elif kind == "sample":
+                samples.append(obj)
+            elif kind == "metric":
+                metrics[obj["name"]] = obj
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    if meta is None:
+        raise ValueError(f"{path}: missing meta header line")
+    if (
+        len(spans) != meta["nspans"]
+        or len(samples) != meta["nsamples"]
+        or len(metrics) != meta.get("nmetrics", len(metrics))
+    ):
+        raise ValueError(
+            f"{path}: truncated ({len(spans)}/{meta['nspans']} spans, "
+            f"{len(samples)}/{meta['nsamples']} samples, "
+            f"{len(metrics)}/{meta.get('nmetrics', '?')} metrics)"
+        )
+    spans.sort(key=lambda s: s["id"])
+    return {"meta": meta, "spans": spans, "samples": samples, "metrics": metrics}
+
+
+# -- Chrome trace-event format --------------------------------------------------
+
+
+def _tid_of(proc: int | None) -> int:
+    return 0 if proc is None else proc + 1
+
+
+def chrome_trace(collector: Collector) -> dict:
+    """Render the collector as a Chrome trace-event JSON object.
+
+    One thread track per real processor (plus track 0, the engine), spans as
+    complete (``"ph": "X"``) events carrying their attrs, and every
+    timestamped sample as a counter (``"ph": "C"``) event — per-disk samples
+    become the per-disk tracks.  Open spans (a crashed run) are closed at the
+    trace's end so the file still loads.
+    """
+    events: list[dict] = []
+    t_base = min(
+        [s.t0 for s in collector.spans] + [t for t, _n, _v in collector.samples],
+        default=0.0,
+    )
+    t_end = max(
+        [s.t1 for s in collector.spans if s.t1 is not None]
+        + [t for t, _n, _v in collector.samples]
+        + [t_base],
+    )
+
+    def us(t: float) -> float:
+        return round((t - t_base) * 1e6, 3)
+
+    procs = sorted(
+        {s.proc for s in collector.spans}, key=lambda x: -1 if x is None else x
+    )
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "em-simulation"},
+        }
+    )
+    for proc in procs:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": _tid_of(proc),
+                "args": {"name": "engine" if proc is None else f"proc {proc}"},
+            }
+        )
+    for s in collector.spans:
+        t1 = s.t1 if s.t1 is not None else t_end
+        events.append(
+            {
+                "ph": "X",
+                "cat": "span",
+                "name": s.name,
+                "pid": 0,
+                "tid": _tid_of(s.proc),
+                "ts": us(s.t0),
+                "dur": round(max(t1 - s.t0, 0.0) * 1e6, 3),
+                "args": s.attrs,
+            }
+        )
+    for t, name, value in collector.samples:
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "pid": 0,
+                "ts": us(t),
+                "args": {"value": value},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(collector: Collector, path: str) -> int:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the event count."""
+    trace = chrome_trace(collector)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(obj: Any) -> int:
+    """Check ``obj`` against the trace-event schema subset this package emits.
+
+    Returns the number of events; raises :class:`ValueError` on the first
+    violation.  Checked: the JSON-object container shape, required fields and
+    field types per phase (``M``/``X``/``C``), non-negative durations, and
+    numeric timestamps.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace object lacks a 'traceEvents' array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "C"):
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"{where}: missing/non-string 'name'")
+        if not isinstance(ev.get("pid"), int):
+            raise ValueError(f"{where}: missing/non-int 'pid'")
+        if ph in ("X", "C"):
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"{where}: missing/non-numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'X' event needs a non-negative 'dur'")
+            if not isinstance(ev.get("tid"), int):
+                raise ValueError(f"{where}: 'X' event needs an int 'tid'")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{where}: 'args' must be an object")
+    return len(events)
+
+
+def validate_trace_file(path: str) -> int:
+    """Load ``path`` as JSON and :func:`validate_chrome_trace` it."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    return validate_chrome_trace(obj)

@@ -1,0 +1,179 @@
+"""Metrics registry: counters, gauges, and log2 histograms.
+
+Instruments are created on first use (``registry.counter("ctx_cache.hits")``)
+and are plain mutable cells — incrementing one is an attribute add, nothing
+more.  When no collector is attached the engines hold the
+:data:`~repro.obs.spans.NULL_OBSERVER`, whose registry hands out shared no-op
+instruments, so un-observed runs pay only an attribute lookup on the few code
+paths that are not already guarded by ``observer.enabled``.
+
+Histograms use power-of-two buckets (bucket ``i`` counts values in
+``[2^(i-1), 2^i)``, bucket 0 counts values ``< 1``), which is enough to see
+the *shape* of e.g. the Lemma 2 bucket-load imbalance or per-phase span
+durations without configuring bucket boundaries per metric.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set value (e.g. a cumulative counter sampled at a barrier)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Log2-bucketed distribution with exact count/sum/min/max."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, v: float) -> None:
+        b = max(0, math.frexp(v)[1]) if v > 0 else 0
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram of the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def record(self, v: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls()
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """JSON-able ``{name: {type, ...}}`` view of every instrument."""
+        return {name: inst.snapshot() for name, inst in self._instruments.items()}
+
+    def merge_snapshot(self, snap: dict, prefix: str = "") -> None:
+        """Fold a :meth:`snapshot` in (worker merge); names get ``prefix``.
+
+        Counters add, gauges keep the incoming value, histograms merge
+        bucket-wise — so draining the same worker twice with disjoint
+        activity accumulates correctly.
+        """
+        for name, data in snap.items():
+            full = prefix + name
+            kind = data["type"]
+            if kind == "counter":
+                self.counter(full).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(full).set(data["value"])
+            elif kind == "histogram":
+                h = self.histogram(full)
+                for b, c in data["buckets"].items():
+                    b = int(b)
+                    h.buckets[b] = h.buckets.get(b, 0) + c
+                h.count += data["count"]
+                h.total += data["sum"]
+                if data["min"] is not None and data["min"] < h.min:
+                    h.min = data["min"]
+                if data["max"] is not None and data["max"] > h.max:
+                    h.max = data["max"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry of the null observer: every accessor returns the shared no-op."""
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]

@@ -76,6 +76,47 @@ class TestIOTrace:
         assert len(trace.ops) == 3
         assert array.parallel_ops == 5  # counting unaffected
 
+    def test_dropped_ops_counted_and_flagged(self):
+        array = DiskArray(D=1, B=8)
+        trace = IOTrace.attach(array, limit=3)
+        for t in range(5):
+            array.parallel_write([(0, t, Block(records=[]))])
+        assert trace.dropped == 2
+        c = trace.counts()
+        assert c["ops"] == 3 and c["dropped"] == 2
+        assert "(2 ops dropped past limit)" in trace.render()
+        # An untruncated trace carries no noise in the footer.
+        clean = IOTrace.attach(DiskArray(D=1, B=8))
+        assert clean.dropped == 0 and "dropped" not in clean.render()
+
+    def test_detach_restores_array(self):
+        array = DiskArray(D=2, B=8, fast_io=True)
+        orig_read = array._attempt_read
+        orig_write = array._attempt_write
+        assert array.fast_data_plane is True
+        trace = IOTrace.attach(array)
+        assert array.hooked is True and array.fast_data_plane is False
+        array.parallel_write([(0, 0, Block(records=[1]))])
+        trace.detach()
+        assert array.hooked is False and array.fast_data_plane is True
+        assert array._attempt_read == orig_read
+        assert array._attempt_write == orig_write
+        # Post-detach operations are executed and counted but not recorded.
+        array.parallel_read([(0, 0)])
+        assert len(trace.ops) == 1 and array.parallel_ops == 2
+        trace.detach()  # idempotent
+        IOTrace(D=2).detach()  # never-attached detach is safe
+
+    def test_context_manager_detaches(self):
+        array = DiskArray(D=2, B=8)
+        with IOTrace.attach(array) as trace:
+            array.parallel_write([(0, 0, Block(records=[1]))])
+            assert array.hooked is True
+        assert array.hooked is False
+        assert len(trace.ops) == 1
+        array.parallel_read([(0, 0)])
+        assert len(trace.ops) == 1  # no longer recording
+
 
 class TestFaultTracing:
     def test_retried_ops_recorded_distinctly(self):
