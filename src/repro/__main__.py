@@ -228,6 +228,55 @@ def cmd_delaunay(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    """Differential conformance fuzzing (see :mod:`repro.conform`)."""
+    from .conform import ReproCase, fuzz, run_case
+    from .conform.strategies import DEFAULT, QUICK
+
+    if args.repro:
+        case = ReproCase.load(args.repro)
+        print(f"replaying {args.repro}: oracle={case.oracle}")
+        print(f"  config: {case.config.describe()}")
+        result = run_case(case.config)
+        if result.passed:
+            print("  case no longer fails (all oracles passed)")
+            return 0
+        for failure in result.failures:
+            print(f"  {failure}")
+        reproduced = any(f.oracle == case.oracle for f in result.failures)
+        print(
+            f"  reproduced the recorded {case.oracle!r} failure"
+            if reproduced
+            else f"  failed, but not on the recorded oracle {case.oracle!r}"
+        )
+        return 1
+
+    profile = QUICK if args.profile == "quick" else DEFAULT
+    stats = fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        time_limit=args.time_limit,
+        profile=profile,
+        out_dir=args.out_dir,
+        shrink_budget=args.shrink_budget,
+        log=print if args.verbose else None,
+    )
+    note = " (time limit reached)" if stats.time_limited else ""
+    print(
+        f"conform: seed={stats.seed} ran {stats.cases_run}/{stats.budget} "
+        f"cases in {stats.elapsed:.1f}s{note}"
+    )
+    for name, count in sorted(stats.checks.items()):
+        print(f"  {name:<24} {count} checks")
+    if stats.passed:
+        print("  all oracles passed")
+        return 0
+    for repro in stats.failures:
+        print(f"  FAIL [{repro.oracle}] case {repro.case_index}: {repro.message}")
+        print(f"       shrunk config: {repro.config.describe()}")
+    return 1
+
+
 def cmd_machines(args) -> int:
     from .algorithms import CGMPermutation
 
@@ -295,6 +344,28 @@ def main(argv=None) -> int:
             else:
                 p.add_argument(flag, action="store_true")
         p.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "conform",
+        help="differential conformance fuzzing of randomized configurations",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzzer seed")
+    p.add_argument("--budget", type=int, default=100,
+                   help="number of random configurations to run")
+    p.add_argument("--time-limit", type=float, default=None, metavar="SECONDS",
+                   help="stop drawing new cases after this much wall-clock")
+    p.add_argument("--repro", metavar="CASE.json", default=None,
+                   help="replay a serialized ReproCase instead of fuzzing")
+    p.add_argument("--out-dir", default="conform-cases",
+                   help="directory for failing ReproCase JSON files")
+    p.add_argument("--profile", choices=("default", "quick"), default="default",
+                   help="strategy profile (quick: small configs, no workers)")
+    p.add_argument("--shrink-budget", type=int, default=80,
+                   help="max verification runs the shrinker may spend")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every case as it runs")
+    p.set_defaults(func=cmd_conform, trace_out=None, jsonl_out=None,
+                   metrics=False)
 
     args = parser.parse_args(argv)
     rc = args.func(args)

@@ -1,0 +1,92 @@
+"""Repro cases: a failing config serialized with everything replay needs.
+
+The JSON schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "oracle":        "<name from repro.conform.oracles.ORACLES>",
+      "message":       "<what the oracle saw on the shrunk config>",
+      "fuzz_seed":     <int|null>,   # fuzzer seed that found it
+      "case_index":    <int|null>,   # index within that seed's budget
+      "shrink_runs":   <int>,        # verification runs the shrinker spent
+      "config":        { ...ConformConfig fields... },
+      "original":      { ... } | null  # pre-shrink config, when different
+    }
+
+``config`` alone fully determines the run (inputs and fault streams are
+derived from the embedded seeds), so ``python -m repro conform --repro
+case.json`` re-executes the exact failure with no other state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .config import ConformConfig
+
+__all__ = ["ReproCase", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One minimal failing configuration, ready to replay."""
+
+    config: ConformConfig
+    oracle: str
+    message: str
+    fuzz_seed: int | None = None
+    case_index: int | None = None
+    original: ConformConfig | None = None
+    shrink_runs: int = 0
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "oracle": self.oracle,
+            "message": self.message,
+            "fuzz_seed": self.fuzz_seed,
+            "case_index": self.case_index,
+            "shrink_runs": self.shrink_runs,
+            "config": self.config.to_dict(),
+            "original": None if self.original is None else self.original.to_dict(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproCase":
+        payload = json.loads(text)
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported ReproCase schema_version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        original = payload.get("original")
+        return cls(
+            config=ConformConfig.from_dict(payload["config"]),
+            oracle=payload["oracle"],
+            message=payload.get("message", ""),
+            fuzz_seed=payload.get("fuzz_seed"),
+            case_index=payload.get("case_index"),
+            original=None if original is None else ConformConfig.from_dict(original),
+            shrink_runs=payload.get("shrink_runs", 0),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReproCase":
+        return cls.from_json(Path(path).read_text())
+
+    def replay_command(self, path: str | Path) -> str:
+        """The one-liner that re-executes this failure."""
+        return f"PYTHONPATH=src python -m repro conform --repro {path}"

@@ -1,0 +1,174 @@
+"""One end-to-end conformance configuration, fully explicit and replayable.
+
+A :class:`ConformConfig` pins *everything* a run depends on: the machine
+tuple ``(p, M, D, B, b, G, g, L)``, the workload and its input size and data
+seed, the virtual machine (``v``, optional explicit ``k``), the execution
+plane (engine, backend, fast-path flags, checkpointing), and the fault plan.
+Two properties matter:
+
+* **Determinism** — building the same config twice yields byte-identical
+  inputs and fault streams, so every oracle verdict is reproducible from the
+  JSON form alone.
+* **Admissibility is not assumed** — constructing the config object never
+  validates; :func:`repro.conform.strategies.repair` is the projection onto
+  the admissible set, and :meth:`ConformConfig.params` surfaces the
+  (self-describing) :class:`~repro.params.ParameterError` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any
+
+from ..bsp.program import BSPAlgorithm
+from ..emio.faults import FaultPlan, RetryPolicy
+from ..params import MachineParams
+
+__all__ = ["ConformConfig", "WORKLOADS", "FAULT_KINDS"]
+
+#: Fuzzable workloads: one representative per communication pattern —
+#: sample sort (splitter broadcast + all-to-all), permutation (pure
+#: h-relation), prefix sums (converging tree traffic), list ranking
+#: (pointer-jumping, superstep count grows with n), matrix transpose
+#: (structured all-to-all).
+WORKLOADS = ("sort", "permute", "prefix", "listrank", "transpose")
+
+#: Fault axes: ``none`` (healthy machine), ``transient`` (retriable
+#: read/write errors, detected corruption, latency spikes), ``kill`` (one
+#: permanent disk death mid-run; exercises checkpoint/kill-resume).
+FAULT_KINDS = ("none", "transient", "kill")
+
+# Transient rates are fixed (the stream itself varies with fault_seed):
+# high enough to inject several faults per run at these sizes, low enough
+# that the default retry budget practically never exhausts (~rate^7).
+_TRANSIENT = dict(
+    read_error_rate=0.03,
+    write_error_rate=0.03,
+    corruption_rate=0.02,
+    latency_rate=0.02,
+)
+
+
+@dataclass(frozen=True)
+class ConformConfig:
+    """One randomized end-to-end configuration of ``simulate()``."""
+
+    # -- machine tuple (p, M, D, B, b, G, g, L) --
+    p: int = 1
+    M: int = 4096
+    D: int = 2
+    B: int = 16
+    b: int = 16
+    G: float = 1.0
+    g: float = 1.0
+    L: float = 1.0
+    # -- virtual machine + workload --
+    v: int = 4
+    k: int | None = None
+    workload: str = "sort"
+    n: int = 64
+    data_seed: int = 0
+    # -- execution plane --
+    engine: str = "sequential"
+    backend: str = "inline"
+    context_cache: bool = False
+    fast_io: bool = False
+    checkpoint: bool = False
+    sim_seed: int = 0
+    # -- fault plan --
+    fault: str = "none"
+    fault_seed: int = 0
+    dead_disk: int = 0
+    dead_after: int = 40
+    dead_proc: int = 0
+
+    # -- constructions -------------------------------------------------------
+
+    def machine(self) -> MachineParams:
+        return MachineParams(
+            p=self.p, M=self.M, D=self.D, B=self.B, b=self.b,
+            G=self.G, g=self.g, L=self.L,
+        )
+
+    def algorithm(self) -> BSPAlgorithm:
+        """A fresh algorithm instance over this config's deterministic input."""
+        from .. import workloads as wl
+
+        n, v, seed = self.n, self.v, self.data_seed
+        if self.workload == "sort":
+            from ..algorithms import CGMSampleSort
+
+            return CGMSampleSort(wl.uniform_keys(n, seed=seed), v)
+        if self.workload == "permute":
+            from ..algorithms import CGMPermutation
+
+            return CGMPermutation(
+                list(range(n)), wl.random_permutation(n, seed=seed), v
+            )
+        if self.workload == "prefix":
+            from ..algorithms import CGMPrefixSums
+
+            return CGMPrefixSums(wl.uniform_keys(n, seed=seed, hi=1000), v)
+        if self.workload == "listrank":
+            from ..algorithms.graphs import CGMListRanking
+
+            return CGMListRanking(wl.random_linked_list(n, seed=seed), v)
+        if self.workload == "transpose":
+            from ..algorithms import CGMMatrixTranspose
+
+            r, c = v, n // v
+            return CGMMatrixTranspose(wl.matrix_entries(r, c, seed=seed), r, c, v)
+        raise ValueError(f"unknown workload {self.workload!r}")
+
+    def params(self):
+        """The run's :class:`SimulationParams` (raises ``ParameterError``
+        when the config is not admissible)."""
+        from ..core.simulator import build_params
+
+        return build_params(self.algorithm(), self.machine(), self.v, k=self.k)
+
+    def fault_plan(self) -> FaultPlan | None:
+        if self.fault == "none":
+            return None
+        if self.fault == "transient":
+            return FaultPlan(seed=self.fault_seed, **_TRANSIENT)
+        if self.fault == "kill":
+            return FaultPlan(
+                seed=self.fault_seed,
+                dead_disk=self.dead_disk,
+                dead_after=self.dead_after,
+                dead_proc=self.dead_proc,
+            )
+        raise ValueError(f"unknown fault kind {self.fault!r}")
+
+    def retry_policy(self) -> RetryPolicy | None:
+        return RetryPolicy() if self.fault != "none" else None
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ConformConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: val for key, val in d.items() if key in known})
+
+    def with_(self, **kw) -> "ConformConfig":
+        return replace(self, **kw)
+
+    def describe(self) -> str:
+        """One line, for fuzzer progress output and repro-case summaries."""
+        plane = [self.engine, self.backend]
+        if self.context_cache:
+            plane.append("ctx-cache")
+        if self.fast_io:
+            plane.append("fast-io")
+        if self.checkpoint:
+            plane.append("ckpt")
+        fault = "" if self.fault == "none" else f" fault={self.fault}"
+        return (
+            f"{self.workload} n={self.n} v={self.v} k={self.k} "
+            f"p={self.p} M={self.M} D={self.D} B={self.B} b={self.b} "
+            f"[{'+'.join(plane)}]{fault} seed={self.sim_seed}"
+        )

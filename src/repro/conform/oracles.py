@@ -1,0 +1,317 @@
+"""The conformance oracle stack.
+
+Five independent checks, each tied to a guarantee this repo claims:
+
+``output_vs_reference``
+    Invariant I3: every engine/plane produces exactly the outputs of the
+    in-memory :class:`~repro.bsp.runner.ReferenceRunner`.
+``plane_equivalence``
+    Byte-identity of the canonical run record (outputs + ledger summary +
+    per-superstep phase/routing breakdowns) across all equivalent planes of
+    one configuration — ``fast_io`` / ``context_cache`` / process backend
+    are *counted-cost-invisible* by construction, so their pickled records
+    must match byte for byte.
+``lemma2_balance``
+    Lemma 2: random-permutation write cycles leave every bucket spread
+    almost evenly over the ``D`` disks.  Checked per superstep per
+    processor per bucket against a Chernoff-style whp allowance.
+``theorem1_io``
+    Theorem 1 / Lemma 4: counted parallel I/O per compound superstep is
+    bounded by a closed form in :class:`~repro.params.SimulationParams`'
+    terms (contexts, message blocks, reorganization rounds).  The form is
+    *sound* — every term over-approximates its phase — and tight enough
+    (no global fudge factor) that a 2x counter inflation in any phase
+    trips it.
+``kill_resume``
+    Checkpoint/recovery: a run killed by a permanent disk death, resumed
+    from its last checkpoint on a fresh engine, must still equal the
+    reference output and report the resume step (checked by the runner,
+    which owns the kill-and-resume control flow).
+``no_crash``
+    Implicit: an admissible config must not raise at all (failures under
+    this name carry the exception).
+
+Oracle functions return a list of :class:`OracleFailure` (empty = pass);
+they never raise on a failing check, so one bad case reports every oracle
+it violates.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.stats import SimulationReport
+from ..params import SimulationParams
+
+__all__ = [
+    "OracleFailure",
+    "ORACLES",
+    "canonical_record",
+    "record_bytes",
+    "check_outputs",
+    "check_plane_equivalence",
+    "lemma2_allowance",
+    "check_lemma2",
+    "theorem1_io_bound",
+    "check_theorem1_io",
+]
+
+#: Every oracle name a :class:`OracleFailure` may carry.
+ORACLES = (
+    "output_vs_reference",
+    "plane_equivalence",
+    "lemma2_balance",
+    "theorem1_io",
+    "kill_resume",
+    "no_crash",
+)
+
+# Lemma 2 allowance constants (see lemma2_allowance): 4-sigma-ish Chernoff
+# slack — a per-check false-positive probability around (D+3)^-6, small
+# enough for nightly budgets of ~10^5 bucket checks.
+_LEM2_C = 4.0
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle violation: which oracle, and what it saw."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.oracle}] {self.message}"
+
+
+# -- canonical run records (plane equivalence) ------------------------------
+
+
+def canonical_record(outputs: list[Any], report: SimulationReport) -> dict:
+    """Everything two equivalent planes must agree on, as one plain dict.
+
+    Mirrors the golden-comparison shape of ``tests/test_fastpath_golden.py``:
+    outputs, the full ledger/report summary, and per-superstep phase +
+    routing breakdowns (``repr`` of the stat dataclasses pins every field).
+    """
+    return {
+        "outputs": outputs,
+        "summary": report.summary(),
+        "supersteps": [
+            (
+                s.index,
+                repr(s.phases),
+                repr(s.routing),
+                repr(s.routing_all),
+                s.comm_packets,
+                s.message_blocks,
+                s.halted,
+            )
+            for s in report.supersteps
+        ],
+        "init_io_ops": report.init_io_ops,
+        "output_io_ops": report.output_io_ops,
+        "disk_space_tracks": report.disk_space_tracks,
+    }
+
+
+def record_bytes(record: dict) -> bytes:
+    """The byte form compared across planes."""
+    return pickle.dumps(record, protocol=4)
+
+
+def check_outputs(
+    plane: str, outputs: list[Any], reference: list[Any]
+) -> list[OracleFailure]:
+    """Invariant I3: engine outputs equal the in-memory reference outputs."""
+    if outputs == reference:
+        return []
+    bad = [
+        vp
+        for vp in range(min(len(outputs), len(reference)))
+        if outputs[vp] != reference[vp]
+    ]
+    if len(outputs) != len(reference):
+        detail = f"{len(outputs)} outputs vs {len(reference)} reference outputs"
+    else:
+        detail = f"virtual processors {bad[:8]} differ"
+    return [
+        OracleFailure(
+            "output_vs_reference", f"plane {plane}: {detail}"
+        )
+    ]
+
+
+def check_plane_equivalence(records: dict[str, dict]) -> list[OracleFailure]:
+    """Byte-identity of the canonical records of all equivalent planes."""
+    if len(records) < 2:
+        return []
+    keys = sorted(records)
+    base = keys[0]
+    base_bytes = record_bytes(records[base])
+    failures = []
+    for key in keys[1:]:
+        if record_bytes(records[key]) == base_bytes:
+            continue
+        diff = [
+            field
+            for field in records[base]
+            if records[base][field] != records[key][field]
+        ]
+        failures.append(
+            OracleFailure(
+                "plane_equivalence",
+                f"planes {base!r} and {key!r} diverge in {diff or '(bytes)'}",
+            )
+        )
+    return failures
+
+
+# -- Lemma 2: per-disk bucket balance ---------------------------------------
+
+
+def lemma2_allowance(R: int, D: int) -> float:
+    """Max blocks of an ``R``-block bucket one disk may hold, whp.
+
+    Lemma 2 proves the loads are within ``(1+o(1)) R/D`` whp; the finite-size
+    allowance here is the Chernoff upper tail for a sum of ``R`` indicators
+    of mean ``1/D`` (the random-permutation cycles are negatively associated,
+    so the independent-case tail is an upper bound):
+    ``R/D + c*sqrt((R/D + 1) ln(D+3)) + c*ln(D+3)`` with ``c = 4``.
+    """
+    mean = R / D
+    slack = math.log(D + 3)
+    return mean + _LEM2_C * math.sqrt((mean + 1.0) * slack) + _LEM2_C * slack
+
+
+def check_lemma2(
+    params: SimulationParams, report: SimulationReport
+) -> tuple[list[OracleFailure], int]:
+    """Check every superstep's bucket store against the Lemma 2 allowance.
+
+    Returns ``(failures, nchecks)`` where ``nchecks`` counts the
+    (superstep, processor, bucket) triples inspected.
+    """
+    D = params.machine.D
+    failures = []
+    nchecks = 0
+    for s in report.supersteps:
+        for proc, routing in enumerate(s.routing_stats()):
+            for bucket, loads in enumerate(routing.bucket_loads):
+                R = sum(loads)
+                if R == 0:
+                    continue
+                nchecks += 1
+                allow = lemma2_allowance(R, D)
+                if max(loads) > allow:
+                    failures.append(
+                        OracleFailure(
+                            "lemma2_balance",
+                            f"superstep {s.index} proc {proc} bucket {bucket}: "
+                            f"max disk load {max(loads)} of R={R} blocks "
+                            f"exceeds whp allowance {allow:.1f} "
+                            f"(R/D={R / D:.1f}, loads={list(loads)})",
+                        )
+                    )
+    return failures, nchecks
+
+
+# -- Theorem 1: counted-I/O upper bound -------------------------------------
+
+
+def theorem1_io_bound(
+    params: SimulationParams, report: SimulationReport, per_superstep: bool = False
+):
+    """Closed-form upper bound on counted parallel I/O ops per superstep.
+
+    In the terms of Theorem 1 / Lemma 4 (``k`` group size, ``D`` disks,
+    ``G`` groups per processor, ``cbp = ceil(mu/B)`` context blocks per vp,
+    ``T_s`` message blocks generated in superstep ``s``), each phase of
+    compound superstep ``s`` is bounded by:
+
+    * contexts (fetch + write back): ``2 G (ceil(k*cbp/D) + 1)`` — a group's
+      contexts are ``k*cbp`` consecutive blocks of a striped region, read at
+      full parallelism up to one alignment op.
+    * fetch messages: ``ceil(T_{s-1}/D) + 2G`` — each group's slot range is
+      consecutive in the reorganized region (Definition 2).
+    * write messages: ``ceil(T_s/D) + G`` — linked-bucket appends write full
+      cycles of ``D`` blocks, one partial cycle per group (per scatter
+      round on the parallel engine).
+    * reorganize: per processor ``2*min(T, D*maxq + D) + 2*min(T, D + maxb)``
+      where ``maxq`` is that processor's worst (bucket, disk) queue length
+      and ``maxb`` its largest bucket — the exact round counts of Algorithm
+      2's two phases; the superstep charges the max over processors.
+
+    Summed over supersteps this is the ``O(lambda * (v/p) * mu/(D*B))`` of
+    Theorem 1 with explicit constants and lower-order terms.  The bound is
+    checked only on healthy runs: retries and degraded writes charge extra
+    ops the model does not count.
+    """
+    m = params.machine
+    D = m.D
+    groups = params.groups_per_processor
+    kcbp = params.k * params.context_blocks_per_vp
+    bounds = []
+    prev = 0
+    for s in report.supersteps:
+        T = s.message_blocks
+        ctx = 2 * groups * (-(-kcbp // D) + 1)
+        fetch = -(-prev // D) + 2 * groups
+        write = -(-T // D) + groups
+        reorg = 0
+        for routing in s.routing_stats():
+            tp = routing.total_blocks
+            maxq = max(
+                (max(loads) for loads in routing.bucket_loads if loads),
+                default=0,
+            )
+            maxb = max(
+                (sum(loads) for loads in routing.bucket_loads), default=0
+            )
+            ph1 = 2 * min(tp, D * maxq + D)
+            ph2 = 2 * min(tp, D + maxb)
+            reorg = max(reorg, ph1 + ph2)
+        bounds.append(ctx + fetch + write + reorg)
+        prev = T
+    return bounds if per_superstep else sum(bounds)
+
+
+def check_theorem1_io(
+    params: SimulationParams, report: SimulationReport
+) -> tuple[list[OracleFailure], int]:
+    """Per-superstep counted I/O against :func:`theorem1_io_bound`.
+
+    Two layers per superstep: the closed-form *upper bound* on the phase
+    total, and an *exact* cross-check of the ``reorganize`` phase counter
+    against Algorithm 2's own op counts (``max`` over processors of
+    ``RoutingStats.io_ops`` — two independent measurements of the same
+    ops, so any engine-side double/under-charge breaks the equality even
+    when the run is far below the asymptotic bound).
+    """
+    bounds = theorem1_io_bound(params, report, per_superstep=True)
+    failures = []
+    for s, bound in zip(report.supersteps, bounds):
+        if s.phases.total > bound:
+            failures.append(
+                OracleFailure(
+                    "theorem1_io",
+                    f"superstep {s.index}: counted io_ops {s.phases.total} "
+                    f"exceed the closed-form bound {bound} "
+                    f"(phases={s.phases!r})",
+                )
+            )
+        routing = s.routing_stats()
+        if routing:
+            expected = max(r.io_ops for r in routing)
+            if s.phases.reorganize != expected:
+                failures.append(
+                    OracleFailure(
+                        "theorem1_io",
+                        f"superstep {s.index}: reorganize phase charged "
+                        f"{s.phases.reorganize} ops but Algorithm 2's own "
+                        f"stats count {expected}",
+                    )
+                )
+    return failures, 2 * len(bounds)

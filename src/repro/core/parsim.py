@@ -768,6 +768,7 @@ class ParallelEMSimulation:
                 comm_packets=cost.comm_packets,
                 message_blocks=blocks_generated,
                 halted=all_halted,
+                routing_all=[routing for routing, _io in reorgs],
             )
         )
         if obs.enabled:

@@ -51,6 +51,10 @@ class RoutingStats:
     phase1_ops: int = 0
     phase2_ops: int = 0
     max_load_ratio: float = 0.0  # Lemma 2 deviation of the bucket store
+    # Per-bucket per-disk block counts of the store being reorganized — the
+    # X_{j,k} variables of Lemma 2, kept so conformance oracles can check
+    # the balance bound and the phase-1/phase-2 round counts after the fact.
+    bucket_loads: tuple[tuple[int, ...], ...] = ()
 
     @property
     def io_ops(self) -> int:
@@ -85,6 +89,9 @@ def simulate_routing(
     stats = RoutingStats(
         total_blocks=buckets.total_blocks,
         max_load_ratio=buckets.max_load_ratio(),
+        bucket_loads=tuple(
+            tuple(buckets.bucket_disk_loads(b)) for b in range(buckets.nbuckets)
+        ),
     )
 
     # ---- Sizing and target assignment (metadata only; the bucket tables

@@ -118,6 +118,7 @@ def simulate(
         counted model costs and per-phase I/O breakdowns.
     """
     params = build_params(algorithm, machine, v, k=k, strict=strict)
+    requested = engine
     if engine == "auto":
         engine = "sequential" if machine.p == 1 else "parallel"
     kwargs = dict(
@@ -133,8 +134,17 @@ def simulate(
     )
     if engine == "sequential":
         if backend != "inline":
+            # Name both knobs: the caller must change either `backend` (to
+            # "inline") or `engine` (to "parallel", which accepts p == 1).
+            how = (
+                f"engine='auto' resolved to 'sequential' because machine.p="
+                f"{machine.p}"
+                if requested == "auto"
+                else f"engine={requested!r}"
+            )
             raise ValueError(
-                f"backend={backend!r} requires the parallel engine "
+                f"backend={backend!r} requires the parallel engine, but {how}; "
+                f"pass engine='parallel' (it accepts p=1) or backend='inline' "
                 "(the sequential engine has a single real processor)"
             )
         sim = SequentialEMSimulation(algorithm, params, **kwargs)

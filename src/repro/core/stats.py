@@ -91,6 +91,16 @@ class SuperstepReport:
     comm_packets: int = 0
     message_blocks: int = 0
     halted: bool = False
+    # Every real processor's routing stats (the parallel engine's `routing`
+    # keeps only the worst-deviation processor, but the reorganize phase is
+    # charged as a max over *ops*, so bound checks need all of them).
+    routing_all: list[RoutingStats] | None = None
+
+    def routing_stats(self) -> list[RoutingStats]:
+        """All per-processor routing stats known for this superstep."""
+        if self.routing_all is not None:
+            return self.routing_all
+        return [self.routing] if self.routing is not None else []
 
 
 @dataclass

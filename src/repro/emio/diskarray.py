@@ -139,8 +139,13 @@ class DiskArray:
         if disk_id in self.dead_disks:
             return
         if len(self.dead_disks) + 1 >= self.D:
-            raise DiskError(
-                f"disk {disk_id}: cannot enter degraded mode, no surviving drives"
+            # Total array failure (the last drive died).  Fatal but *orderly*:
+            # raising a FATAL_IO_FAULTS member routes the run through the
+            # engines' checkpoint machinery (SimulationAborted carrying the
+            # last checkpoint) instead of an unclassified DiskError crash.
+            raise PermanentDiskError(
+                f"disk {disk_id}: cannot enter degraded mode, no surviving "
+                "drives (total array failure)"
             )
         self.dead_disks.add(disk_id)
         disk = self.disks[disk_id]

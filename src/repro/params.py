@@ -190,23 +190,40 @@ class SimulationParams:
                 k -= 1
         object.__setattr__(self, "k", k)
         if k < 1:
-            raise ParameterError(f"group size k must be >= 1, got {k}")
+            self._reject(f"group size k must be >= 1, got {k}")
         if m.M < s.mu:
-            raise ParameterError(
+            self._reject(
                 f"real memory M={m.M} cannot hold one virtual context mu={s.mu}"
             )
         if k * s.mu > m.M:
-            raise ParameterError(
+            self._reject(
                 f"group of k={k} contexts (k*mu={k * s.mu}) exceeds M={m.M}"
             )
         if s.v % (k * m.p) != 0:
-            raise ParameterError(
+            self._reject(
                 f"v={s.v} must be a multiple of k*p={k * m.p} "
                 "(whole groups per real processor; pad with idle virtual "
                 "processors if necessary)"
             )
         if self.strict:
             self.check_theorem1()
+
+    def describe(self) -> str:
+        """The full parameter tuple, in the paper's letters, on one line.
+
+        Appended to every :class:`ParameterError` this class raises so a
+        rejected configuration (e.g. a fuzzer repro case) is self-describing
+        without access to the objects that produced it.
+        """
+        m, s = self.machine, self.bsp
+        return (
+            f"machine(p={m.p}, M={m.M}, D={m.D}, B={m.B}, b={m.b}, "
+            f"G={m.G:g}, g={m.g:g}, L={m.L:g}) "
+            f"bsp(v={s.v}, mu={s.mu}, gamma={s.gamma}) k={self.k}"
+        )
+
+    def _reject(self, message: str) -> None:
+        raise ParameterError(f"{message} [{self.describe()}]")
 
     # -- Theorem 1 side conditions -----------------------------------------
 
@@ -220,21 +237,21 @@ class SimulationParams:
         checked: list[str] = []
         slack = k * m.p * m.D * m.log_MB
         if s.v < slack:
-            raise ParameterError(
+            self._reject(
                 f"slackness violated: v={s.v} < k*p*D*log(M/B)={slack:.1f}"
             )
         checked.append(f"v >= k*p*D*log(M/B) ({s.v} >= {slack:.1f})")
         if m.b < m.B:
-            raise ParameterError(f"packet size b={m.b} must be >= block size B={m.B}")
+            self._reject(f"packet size b={m.b} must be >= block size B={m.B}")
         checked.append(f"b >= B ({m.b} >= {m.B})")
         if m.p > 1 and m.M / m.B < m.p**self.eps:
-            raise ParameterError(
+            self._reject(
                 f"M/B={m.M / m.B:.1f} < p^eps={m.p**self.eps:.1f} "
                 f"(eps={self.eps})"
             )
         checked.append("M/B >= p^eps")
         if m.b * m.log_MB > 4 * m.M:
-            raise ParameterError(
+            self._reject(
                 f"b*log(M/B)={m.b * m.log_MB:.0f} must be O(M)={m.M}"
             )
         checked.append("b*log(M/B) = O(M)")

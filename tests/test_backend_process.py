@@ -131,6 +131,31 @@ class TestBackendPlumbing:
         with pytest.raises(ValueError, match="parallel engine"):
             simulate(alg, machine, v=8, engine="sequential", backend="process")
 
+    def test_rejection_names_both_knobs_and_both_remedies(self):
+        """The error must point at `backend` and `engine` by name and spell
+        out both ways to fix the call."""
+        alg = CGMSampleSort(uniform_keys(256, seed=5), v=8)
+        machine = MachineParams(p=1, M=1 << 18, D=4, B=16, b=32)
+        with pytest.raises(ValueError) as exc_info:
+            simulate(alg, machine, v=8, engine="sequential", backend="process")
+        msg = str(exc_info.value)
+        assert "backend='process'" in msg
+        assert "engine='sequential'" in msg
+        assert "engine='parallel'" in msg
+        assert "backend='inline'" in msg
+
+    def test_rejection_explains_auto_resolution(self):
+        """With engine='auto' on p=1 the error must say *why* the sequential
+        engine was picked, so the caller knows p (not their engine arg) is
+        the cause."""
+        alg = CGMSampleSort(uniform_keys(256, seed=5), v=8)
+        machine = MachineParams(p=1, M=1 << 18, D=4, B=16, b=32)
+        with pytest.raises(ValueError) as exc_info:
+            simulate(alg, machine, v=8, engine="auto", backend="process")
+        msg = str(exc_info.value)
+        assert "engine='auto' resolved to 'sequential'" in msg
+        assert "machine.p=1" in msg
+
     def test_workers_shut_down_after_run(self):
         sim = build(p=2, backend="process")
         assert isinstance(sim.backend, ProcessBackend)

@@ -1,0 +1,281 @@
+"""Tier-1 slice of the differential conformance fuzzer (``repro.conform``).
+
+The nightly CI job runs thousands of random configurations; this file keeps
+a small fixed-seed budget in the regular suite plus unit tests for every
+layer the fuzzer is built from: the admissibility repair projection, the
+equivalent-plane computation, the oracle stack, the greedy shrinker, the
+``ReproCase`` serialization, and the ``python -m repro conform`` entry
+point.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.conform import (
+    ConformConfig,
+    OracleFailure,
+    ReproCase,
+    fuzz,
+    random_config,
+    repair,
+    run_case,
+    shrink,
+)
+from repro.conform.case import SCHEMA_VERSION
+from repro.conform.oracles import (
+    canonical_record,
+    check_outputs,
+    check_plane_equivalence,
+    check_theorem1_io,
+    lemma2_allowance,
+)
+from repro.conform.runner import _build_engine, equivalent_planes
+from repro.conform.shrinker import shrink_candidates
+from repro.conform.strategies import QUICK
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def small_config(**overrides):
+    """A tiny admissible sequential sort config, tweakable per test."""
+    base = dict(workload="sort", n=64, v=4, p=1, M=4096, D=2, B=16, b=16)
+    base.update(overrides)
+    return repair(base)
+
+
+# -- strategies: draw + repair ------------------------------------------------
+
+
+class TestRepair:
+    def test_random_draws_are_admissible(self):
+        for index in range(60):
+            cfg = random_config(7, index, QUICK)
+            params = cfg.params()  # would raise ParameterError if not
+            assert cfg.v % cfg.p == 0
+            assert cfg.M >= cfg.D * cfg.B
+            assert cfg.n % cfg.v == 0 and cfg.n >= 2 * cfg.v
+            if cfg.workload == "sort":
+                assert cfg.n >= cfg.v * cfg.v
+            if cfg.fault == "kill":
+                assert cfg.checkpoint
+                assert 0 <= cfg.dead_disk < cfg.D
+                assert 0 <= cfg.dead_proc < cfg.p
+            if cfg.engine != "parallel":
+                assert cfg.backend == "inline"
+            assert params.k >= 1
+
+    def test_repair_is_idempotent(self):
+        for index in range(20):
+            cfg = random_config(11, index)
+            assert repair(cfg) == cfg
+
+    def test_draws_are_deterministic_and_distinct(self):
+        again = [random_config(3, i) for i in range(10)]
+        assert [random_config(3, i) for i in range(10)] == again
+        assert len(set(again)) > 1  # the stream actually varies
+
+    def test_repair_projects_each_constraint(self):
+        cfg = repair(dict(workload="sort", p=3, v=4, n=5, D=4, B=16, M=1))
+        assert cfg.v == 6  # rounded up to a multiple of p
+        assert cfg.n >= cfg.v * cfg.v and cfg.n % cfg.v == 0
+        assert cfg.M >= cfg.D * cfg.B
+        assert cfg.engine == "parallel"  # p > 1 forces the parallel engine
+
+        killed = repair(
+            dict(workload="permute", fault="kill", dead_disk=9, dead_proc=7,
+                 D=2, p=1, v=2, n=8)
+        )
+        assert killed.checkpoint and killed.dead_disk < 2 and killed.dead_proc == 0
+
+        seq = repair(dict(workload="prefix", p=1, engine="sequential",
+                          backend="process", v=2, n=8))
+        assert seq.backend == "inline"  # sequential engine folds the backend
+
+
+# -- equivalent planes --------------------------------------------------------
+
+
+class TestEquivalentPlanes:
+    def test_plain_config_gets_a_fastpath_plane(self):
+        planes = dict(equivalent_planes(small_config()))
+        assert set(planes) == {"primary", "fastpath"}
+        assert planes["fastpath"].fast_io and planes["fastpath"].context_cache
+
+    def test_fast_config_gets_a_reference_plane(self):
+        planes = dict(
+            equivalent_planes(small_config(fast_io=True, context_cache=True))
+        )
+        assert set(planes) == {"primary", "reference"}
+        assert not planes["reference"].fast_io
+
+    def test_process_backend_yields_three_planes(self):
+        cfg = small_config(p=2, v=4, engine="parallel", backend="process",
+                           fast_io=True)
+        planes = dict(equivalent_planes(cfg))
+        assert set(planes) == {"primary", "reference", "fastpath"}
+        assert planes["reference"].backend == "inline"
+
+    def test_planes_never_flip_counted_knobs(self):
+        cfg = small_config(p=2, v=4, engine="parallel", checkpoint=True)
+        for _key, plane in equivalent_planes(cfg):
+            assert (plane.engine, plane.p, plane.checkpoint, plane.fault) == (
+                cfg.engine, cfg.p, cfg.checkpoint, cfg.fault
+            )
+
+
+# -- oracles ------------------------------------------------------------------
+
+
+class TestOracles:
+    def test_small_case_passes_all_oracles(self):
+        result = run_case(small_config())
+        assert result.passed, [str(f) for f in result.failures]
+        assert result.checks["output_vs_reference"] >= 2  # both planes
+        assert result.checks["lemma2_balance"] > 0
+        assert result.checks["theorem1_io"] > 0
+        assert result.checks["plane_equivalence"] == 1
+
+    def test_kill_case_exercises_resume_or_skip(self):
+        cfg = small_config(fault="kill", checkpoint=True, dead_after=10)
+        result = run_case(cfg)
+        assert result.passed, [str(f) for f in result.failures]
+        assert (
+            result.checks["kill_resume"]
+            + result.checks["kill_resume_skipped"]
+            + result.checks["output_vs_reference"]
+        ) >= 1
+
+    def test_check_outputs_reports_differing_vps(self):
+        assert check_outputs("x", [1, 2], [1, 2]) == []
+        fails = check_outputs("x", [1, 9], [1, 2])
+        assert fails[0].oracle == "output_vs_reference"
+        assert "plane x" in fails[0].message
+
+    def test_plane_equivalence_names_the_diverging_field(self):
+        cfg = small_config()
+        outputs, report = _build_engine(cfg, faults=None).run()
+        rec = canonical_record(outputs, report)
+        twin = dict(rec, outputs=list(rec["outputs"]) + ["extra"])
+        fails = check_plane_equivalence({"a": rec, "b": twin})
+        assert fails and "outputs" in fails[0].message
+        assert check_plane_equivalence({"a": rec, "b": dict(rec)}) == []
+
+    def test_lemma2_allowance_dominates_the_mean(self):
+        for R in (1, 10, 1000):
+            for D in (1, 2, 8):
+                assert lemma2_allowance(R, D) > R / D
+        assert lemma2_allowance(1000, 4) < 1000  # but it is not vacuous
+
+    def test_theorem1_consistency_catches_a_tampered_counter(self):
+        """The drill the fuzzer exists for: inflate one phase counter and
+        the theorem1_io oracle must flag that superstep."""
+        cfg = small_config()
+        _outputs, report = _build_engine(cfg, faults=None).run()
+        fails, n = check_theorem1_io(report.params, report)
+        assert fails == [] and n > 0
+        report.supersteps[0].phases.reorganize *= 2
+        fails, _n = check_theorem1_io(report.params, report)
+        assert any(
+            f.oracle == "theorem1_io" and "Algorithm 2" in f.message
+            for f in fails
+        )
+
+
+# -- shrinker -----------------------------------------------------------------
+
+
+class TestShrinker:
+    def test_candidates_are_admissible_and_simpler_first(self):
+        cfg = small_config(
+            fault="transient", fast_io=True, context_cache=True, n=128, v=4
+        )
+        cands = list(shrink_candidates(cfg))
+        assert cands[0].fault == "none"  # dropping the fault is tried first
+        for cand in cands:
+            cand.params()  # repair keeps every candidate admissible
+
+    def test_shrink_returns_original_when_nothing_fails(self):
+        cfg = small_config()
+        shrunk, runs = shrink(cfg, "no_crash", budget=3)
+        assert shrunk == cfg
+        assert runs <= 3
+
+
+# -- ReproCase serialization --------------------------------------------------
+
+
+class TestReproCase:
+    def make(self):
+        return ReproCase(
+            config=small_config(),
+            oracle="theorem1_io",
+            message="superstep 0: boom",
+            fuzz_seed=0,
+            case_index=5,
+            original=small_config(n=256),
+            shrink_runs=7,
+        )
+
+    def test_json_round_trip(self):
+        case = self.make()
+        assert ReproCase.from_json(case.to_json()) == case
+
+    def test_unknown_schema_version_rejected(self):
+        payload = json.loads(self.make().to_json())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            ReproCase.from_json(json.dumps(payload))
+
+    def test_save_load_and_replay_command(self, tmp_path):
+        case = self.make()
+        path = case.save(tmp_path / "case.json")
+        assert ReproCase.load(path) == case
+        cmd = case.replay_command(path)
+        assert cmd.startswith("PYTHONPATH=src python -m repro conform --repro ")
+        assert str(path) in cmd
+
+
+# -- the tier-1 fuzz budget ---------------------------------------------------
+
+
+class TestFuzzBudget:
+    def test_fixed_seed_quick_budget_passes(self):
+        stats = fuzz(seed=0, budget=10, profile=QUICK)
+        assert stats.passed, [
+            (r.oracle, r.message, r.config.describe()) for r in stats.failures
+        ]
+        assert stats.cases_run == 10
+        assert stats.checks["output_vs_reference"] > 0
+        assert stats.checks["theorem1_io"] > 0
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestConformCLI:
+    def run_cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "conform", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_fuzz_smoke(self):
+        proc = self.run_cli("--seed", "1", "--budget", "3", "--profile", "quick")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all oracles passed" in proc.stdout
+
+    def test_repro_of_a_fixed_case_exits_cleanly(self, tmp_path):
+        case = ReproCase(
+            config=small_config(), oracle="no_crash", message="was flaky"
+        )
+        path = case.save(tmp_path / "case.json")
+        proc = self.run_cli("--repro", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no longer fails" in proc.stdout

@@ -70,6 +70,13 @@ class TestSequentialGolden:
         fast = golden(build(make_sort, "sequential", checkpoint=True, **FAST))
         assert fast == ref
 
+    def test_fast_io_alone_with_checkpointing(self):
+        """fast_io without context_cache, under checkpointing: the data-plane
+        short-circuit must not disturb what checkpoints read back."""
+        ref = golden(build(make_sort, "sequential", checkpoint=True))
+        fast = golden(build(make_sort, "sequential", checkpoint=True, fast_io=True))
+        assert fast == ref
+
     def test_trace_byte_identical(self):
         """With a trace attached the fast path must take the physical route,
         producing the exact reference operation stream."""
@@ -99,6 +106,16 @@ class TestParallelGolden:
         ref = golden(build(make_sort, "parallel"))
         fast = golden(build(make_sort, "parallel", backend="process", **FAST))
         assert fast == ref
+
+    def test_context_cache_alone_over_process_backend(self):
+        """context_cache without fast_io, with workers in real subprocesses:
+        each worker's cache is private, so the counted run must still match
+        the inline reference byte for byte."""
+        ref = golden(build(make_sort, "parallel"))
+        cached = golden(
+            build(make_sort, "parallel", backend="process", context_cache=True)
+        )
+        assert cached == ref
 
     def test_trace_byte_identical_per_processor(self):
         sims, traces = [], []
