@@ -11,6 +11,9 @@ performance knobs introduced by the fast path work:
 * ``par_fast_process``— parallel engine, process backend, fast path
 * ``seq_fast_observed``/``par_fast_observed`` — the fast configs with a
   telemetry :class:`repro.obs.Collector` attached (span/metric overhead)
+* ``seq_file_storage``  — sequential engine on the out-of-core file plane
+  (track files in a private tempdir); measures the pread/pwrite + pickle
+  cost of true external storage against the in-heap reference
 
 For every workload the harness *asserts* that each engine's fast and
 observed configurations report exactly the same parallel I/O operation
@@ -73,6 +76,7 @@ CONFIGS = [
         "parallel",
         {"context_cache": True, "fast_io": True, "observe": True},
     ),
+    ("seq_file_storage", "sequential", {"storage": "file"}),
 ]
 
 
@@ -181,6 +185,9 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
             ("par_fast_process", "par_inline"),
             ("seq_fast_observed", "seq_reference"),
             ("par_fast_observed", "par_inline"),
+            # Storage-plane invariant (DESIGN §8): moving the tracks out of
+            # heap must not move a single counted cost.
+            ("seq_file_storage", "seq_reference"),
         ]:
             for kct in COUNTED:
                 if configs[fast][kct] != configs[ref][kct]:

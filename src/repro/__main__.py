@@ -81,7 +81,10 @@ def _run(args, algorithm, machine, **kw):
     return simulate(
         algorithm, machine, seed=args.seed,
         backend=args.backend if machine.p > 1 else "inline",
-        observer=_observer(args), **kw,
+        observer=_observer(args),
+        storage=getattr(args, "storage", "memory"),
+        storage_dir=getattr(args, "storage_dir", None),
+        **kw,
     )
 
 
@@ -325,6 +328,14 @@ def main(argv=None) -> int:
                        help="write the raw telemetry as JSON lines")
         p.add_argument("--metrics", action="store_true",
                        help="print the run's metrics registry")
+        p.add_argument("--storage", choices=("memory", "file", "mmap"),
+                       default="memory",
+                       help="block-storage plane backing the simulated disks "
+                            "(file/mmap run truly out-of-core; outputs and "
+                            "ledgers are identical to memory)")
+        p.add_argument("--storage-dir", metavar="DIR", default=None,
+                       help="directory for track files on non-memory planes "
+                            "(default: a private tempdir removed after the run)")
 
     for name, fn, extra in (
         ("sort", cmd_sort, ["--compare-baselines"]),

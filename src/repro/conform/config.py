@@ -74,6 +74,7 @@ class ConformConfig:
     context_cache: bool = False
     fast_io: bool = False
     checkpoint: bool = False
+    storage: str = "memory"
     sim_seed: int = 0
     # -- fault plan --
     fault: str = "none"
@@ -166,6 +167,8 @@ class ConformConfig:
             plane.append("fast-io")
         if self.checkpoint:
             plane.append("ckpt")
+        if self.storage != "memory":
+            plane.append(f"storage={self.storage}")
         fault = "" if self.fault == "none" else f" fault={self.fault}"
         return (
             f"{self.workload} n={self.n} v={self.v} k={self.k} "

@@ -64,20 +64,24 @@ def equivalent_planes(config: ConformConfig) -> list[tuple[str, ConformConfig]]:
     """The configured plane plus every plane that must be byte-equivalent.
 
     The flags flipped here are exactly the ones documented as counted-cost
-    invisible: ``fast_io``, ``context_cache``, and the process backend.
-    Engine choice and ``p`` are *not* equivalent planes (they change the
-    counted schedule), and kill configs run single-plane through the
-    kill-resume protocol instead.
+    invisible: ``fast_io``, ``context_cache``, the process backend, and the
+    block-storage plane.  Engine choice and ``p`` are *not* equivalent
+    planes (they change the counted schedule), and kill configs run
+    single-plane through the kill-resume protocol instead.
     """
     planes = [("primary", config)]
     reference = config.with_(
-        fast_io=False, context_cache=False, backend="inline"
+        fast_io=False, context_cache=False, backend="inline", storage="memory"
     )
     if reference != config:
         planes.append(("reference", reference))
     fastpath = config.with_(fast_io=True, context_cache=True)
     if fastpath not in (config, reference):
         planes.append(("fastpath", fastpath))
+    if config.storage == "memory":
+        filed = config.with_(storage="file")
+        if filed not in (p for _, p in planes):
+            planes.append(("file-storage", filed))
     return planes
 
 
@@ -97,6 +101,7 @@ def _build_engine(
         max_recoveries=max_recoveries,
         context_cache=config.context_cache,
         fast_io=config.fast_io,
+        storage=config.storage,
     )
     if config.engine == "parallel":
         return ParallelEMSimulation(alg, params, backend=config.backend, **kwargs)

@@ -39,6 +39,10 @@ def shrink_candidates(config: ConformConfig) -> Iterator[ConformConfig]:
         yield repair(c.with_(fast_io=False))
     if c.context_cache:
         yield repair(c.with_(context_cache=False))
+    if c.storage != "memory":
+        yield repair(c.with_(storage="memory"))
+    if c.storage == "mmap":
+        yield repair(c.with_(storage="file"))
     if c.n > 2:
         yield repair(c.with_(n=c.n // 2))
     if c.v > 1:

@@ -43,6 +43,8 @@ class StrategyProfile:
     workloads: tuple[str, ...] = WORKLOADS
     allow_process: bool = True
     process_rate: float = 0.25
+    #: (memory, file, mmap) storage-plane draw weights.
+    storage_weights: tuple[float, ...] = (0.6, 0.25, 0.15)
 
 
 DEFAULT = StrategyProfile()
@@ -101,6 +103,9 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
         context_cache=rng.random() < 0.4,
         fast_io=rng.random() < 0.4,
         checkpoint=rng.random() < 0.3,
+        storage=rng.choices(
+            ("memory", "file", "mmap"), weights=profile.storage_weights
+        )[0],
         sim_seed=rng.randrange(1 << 16),
         fault=rng.choices(FAULT_KINDS, weights=profile.fault_weights)[0],
         fault_seed=rng.randrange(1 << 16),
@@ -168,6 +173,8 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
         d["backend"] = "inline"
     elif d.get("backend") not in ("inline", "process"):
         d["backend"] = "inline"
+    if d.get("storage") not in ("memory", "file", "mmap"):
+        d["storage"] = "memory"
 
     # -- fault plan implications --
     fault = d.get("fault", "none")

@@ -62,6 +62,13 @@ class SuperstepCheckpoint:
     dead_disks:
         Per real processor: disk ids already dead at the barrier (purely
         diagnostic; restoring onto a degraded array works regardless).
+    storage_refs:
+        Per real processor: a storage-plane reference dict (track-file
+        snapshots + allocator/region metadata), present only on non-memory
+        planes.  It lets ``resume_from_checkpoint`` on an engine pointed at
+        the *same* ``storage_dir`` re-attach the on-disk track files
+        directly instead of rehydrating the whole array from the pickled
+        state blobs (which remain present as the portable fallback).
     """
 
     step: int
@@ -70,6 +77,7 @@ class SuperstepCheckpoint:
     proc_incoming: list[bytes | None]
     report_blob: bytes
     dead_disks: list[set[int]] = field(default_factory=list)
+    storage_refs: list[dict | None] | None = None
 
     @property
     def nprocs(self) -> int:

@@ -67,6 +67,7 @@ from ..emio.diskarray import DiskArray
 from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
+from ..emio.storage import StorageSpec, resolve_storage
 from ..obs.spans import NULL_OBSERVER, Collector, NullObserver
 from ..params import ParameterError, SimulationParams
 from .backend import make_backend
@@ -101,6 +102,7 @@ class _RealProcessor:
         context_cache: bool,
         fast_io: bool,
         observe: bool = False,
+        storage: StorageSpec | None = None,
     ):
         self.index = index
         self.algorithm = algorithm
@@ -116,8 +118,13 @@ class _RealProcessor:
         # Per-processor deterministic RNG stream: identical across backends,
         # independent across processors (no cross-processor draw ordering).
         self.rng = random.Random(f"{seed}/proc{index}")
+        # Each real processor owns its drives, so each gets its own storage
+        # sub-root (claimed worker-side under the process backend).
+        spec = storage if storage is not None else StorageSpec()
+        self.storage_spec = spec.for_proc(index)
         self.array = DiskArray(
-            m.D, m.B, faults=faults, retry=retry, proc=index, fast_io=fast_io
+            m.D, m.B, faults=faults, retry=retry, proc=index, fast_io=fast_io,
+            storage=self.storage_spec,
         )
         self.allocator = RegionAllocator(self.array)
         self.contexts = ContextStore(
@@ -175,6 +182,12 @@ class _RealProcessor:
             if buckets is not None:
                 depth = sum(len(buckets.table[b][d]) for b in range(buckets.nbuckets))
                 self.obs.sample(f"disk{d}/queue_depth", depth)
+            st = disk.storage
+            if st.read_bytes or st.write_bytes:
+                # Non-zero only on non-memory planes, so memory-plane span
+                # streams are unchanged by the storage layer's existence.
+                self.obs.sample(f"disk{d}/storage_read_bytes", st.read_bytes)
+                self.obs.sample(f"disk{d}/storage_write_bytes", st.write_bytes)
 
     # -- phase protocol (driven by the engine through a backend) ----------------
 
@@ -323,7 +336,7 @@ class _RealProcessor:
 
     def export_checkpoint(
         self, group_size: int
-    ) -> tuple[bytes, bytes | None, Any, set[int], int]:
+    ) -> tuple[bytes, bytes | None, Any, set[int], int, dict | None]:
         with self.obs.span("checkpoint") as sp:
             state_blob = freeze(self.contexts.export_all(group_size=group_size))
             if self.incoming is not None:
@@ -339,7 +352,48 @@ class _RealProcessor:
             self.rng.getstate(),
             set(self.array.dead_disks),
             delta,
+            self._storage_ref(),
         )
+
+    def _storage_ref(self) -> dict | None:
+        """Fsync + snapshot this processor's storage at the barrier (host-side)."""
+        if self.storage_spec.kind == "memory":
+            return None
+        self.array.sync_storage()
+        inc = self.incoming
+        return {
+            "kind": self.storage_spec.kind,
+            "root": self.storage_spec.root,
+            "disks": self.array.snapshot_storage(),
+            "alloc": (self.allocator.next_track, list(self.allocator._free)),
+            "ctx_used": list(self.contexts._used),
+            "incoming": None
+            if inc is None
+            else (list(inc.slot_sizes), inc.base, inc.name),
+        }
+
+    def attach_storage(self, ref: dict, rng_state: Any, step: int) -> int:
+        """Re-attach this processor's on-disk track files from a checkpoint
+        reference (the fresh-process crash-recovery path; zero counted I/O)."""
+        with self.obs.span("recover", step=step):
+            if rng_state is not None:
+                self.rng.setstate(rng_state)
+            self.array.restore_storage(ref["disks"])
+            next_track, free = ref["alloc"]
+            self.allocator.next_track = next_track
+            self.allocator._free = sorted(tuple(run) for run in free)
+            self.contexts._used = list(ref["ctx_used"])
+            self.contexts.invalidate_cache()
+            if ref["incoming"] is not None:
+                slot_sizes, base, name = ref["incoming"]
+                self.incoming = StripedRegion.adopt(
+                    self.array, self.allocator, slot_sizes, base, name=name
+                )
+            self.io_marker = self.array.parallel_ops
+        return 0
+
+    def close_storage(self) -> None:
+        self.array.close_storage()
 
     def restore_checkpoint(
         self, state_blob: bytes, inc_blob: bytes | None, rng_state: Any, step: int
@@ -400,6 +454,9 @@ class _RealProcessor:
         mx.counter("ctx_cache/hits").inc(self.contexts.cache_hits)
         mx.counter("ctx_cache/misses").inc(self.contexts.cache_misses)
         mx.gauge("disk_space_tracks").set(self.allocator.high_water)
+        if self.array.storage_read_bytes or self.array.storage_write_bytes:
+            mx.counter("storage/read_bytes").inc(self.array.storage_read_bytes)
+            mx.counter("storage/write_bytes").inc(self.array.storage_write_bytes)
         if self.array.retry_ops or self.array.stall_ops:
             mx.counter("retry_ops").inc(self.array.retry_ops)
             mx.counter("stall_ops").inc(self.stall_total())
@@ -474,6 +531,8 @@ class ParallelEMSimulation:
         context_cache: bool = False,
         fast_io: bool = False,
         observer: Collector | None = None,
+        storage: "str | StorageSpec" = "memory",
+        storage_dir: str | None = None,
     ):
         self.algorithm = algorithm
         self.params = params
@@ -487,6 +546,9 @@ class ParallelEMSimulation:
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
         self.obs = observer if observer is not None else NULL_OBSERVER
+        # The engine claims the root directory; each worker derives (and
+        # claims) its proc{i} sub-root from the pickled spec.
+        self.storage_spec = resolve_storage(storage, storage_dir)
 
         m, s = params.machine, params.bsp
         self.p = m.p
@@ -511,6 +573,7 @@ class ParallelEMSimulation:
                 context_cache,
                 fast_io,
                 observer is not None,
+                self.storage_spec,
             )
             for i in range(self.p)
         ]
@@ -559,13 +622,15 @@ class ParallelEMSimulation:
             self._run_from(0)
             return self._finish()
         finally:
-            self.backend.close()
+            self._shutdown()
 
     def resume_from_checkpoint(
         self, ckpt: SuperstepCheckpoint
     ) -> tuple[list[Any], SimulationReport]:
         """Continue an aborted run from a checkpoint (see the sequential
-        engine's method of the same name)."""
+        engine's method of the same name).  With storage references in the
+        checkpoint and an engine pointed at the same ``storage_dir``, every
+        worker re-attaches its own track files in place."""
         if ckpt.nprocs != self.p:
             raise ParameterError(
                 f"checkpoint holds {ckpt.nprocs} processors, machine has {self.p}"
@@ -573,11 +638,50 @@ class ParallelEMSimulation:
         try:
             self._resumed_from = ckpt.step
             self.last_checkpoint = ckpt
-            self._restore(ckpt)
+            refs = getattr(ckpt, "storage_refs", None)
+            if self._refs_attachable(refs):
+                self._attach_storage(ckpt, refs)
+            else:
+                self._restore(ckpt)
             self._run_from(ckpt.step)
             return self._finish()
         finally:
-            self.backend.close()
+            self._shutdown()
+
+    def _refs_attachable(self, refs: list[dict | None] | None) -> bool:
+        if (
+            refs is None
+            or len(refs) != self.p
+            or any(r is None for r in refs)
+            or self.storage_spec.kind == "memory"
+        ):
+            return False
+        return all(
+            r["kind"] == self.storage_spec.kind
+            and r["root"] == self.storage_spec.proc_root(i)
+            for i, r in enumerate(refs)
+        )
+
+    def _attach_storage(self, ckpt: SuperstepCheckpoint, refs: list[dict]) -> None:
+        with self.obs.span("recover", step=ckpt.step):
+            self.report, self.ledger = thaw(ckpt.report_blob)
+            rngs = ckpt.rng_state
+            if not isinstance(rngs, list):
+                rngs = [rngs] * self.p
+            self.backend.call_all(
+                "attach_storage",
+                [(refs[i], rngs[i], ckpt.step) for i in range(self.p)],
+            )
+        if self.obs.enabled:
+            self.obs.metrics.counter("recoveries").inc()
+
+    def _shutdown(self) -> None:
+        try:
+            self.backend.call_all("close_storage")
+        except Exception:
+            pass  # a dead worker cannot close its files; the OS will
+        self.backend.close()
+        self.storage_spec.cleanup()
 
     # -- run skeleton ---------------------------------------------------------------
 
@@ -642,6 +746,7 @@ class ParallelEMSimulation:
 
     def _take_checkpoint_inner(self, step: int) -> None:
         exports = self.backend.call_all("export_checkpoint", [(self.k,)] * self.p)
+        refs = [e[5] for e in exports]
         self.last_checkpoint = SuperstepCheckpoint(
             step=step,
             rng_state=[e[2] for e in exports],  # one RNG stream per processor
@@ -649,6 +754,7 @@ class ParallelEMSimulation:
             proc_incoming=[e[1] for e in exports],
             report_blob=freeze((self.report, self.ledger)),
             dead_disks=[e[3] for e in exports],
+            storage_refs=refs if any(r is not None for r in refs) else None,
         )
         self._checkpoints_taken += 1
         self._checkpoint_io_ops += max(e[4] for e in exports)

@@ -48,6 +48,7 @@ from ..emio.diskarray import DiskArray
 from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
+from ..emio.storage import StorageSpec, resolve_storage
 from ..obs.spans import NULL_OBSERVER, Collector
 from ..params import ParameterError, SimulationParams
 from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
@@ -114,6 +115,17 @@ class SequentialEMSimulation:
         Purely read-only at phase boundaries: counted costs, outputs, and
         reports are byte-identical with and without it, and the fast data
         plane stays available (unlike :meth:`repro.emio.trace.IOTrace.attach`).
+    storage:
+        Storage plane for the simulated drives: ``"memory"`` (default),
+        ``"file"``, or ``"mmap"`` — or a prebuilt
+        :class:`~repro.emio.storage.StorageSpec`.  Non-memory planes hold
+        every track in per-drive files, making the run truly out-of-core.
+        The plane is invisible to the counted model: outputs, ledger, and
+        traces are byte-identical across planes (DESIGN §8).
+    storage_dir:
+        Directory for the non-memory planes' track files.  Defaults to a
+        private temporary directory removed when the run finishes; an
+        explicit directory persists (that is what crash-resume points at).
     """
 
     def __init__(
@@ -132,6 +144,8 @@ class SequentialEMSimulation:
         context_cache: bool = False,
         fast_io: bool = False,
         observer: Collector | None = None,
+        storage: "str | StorageSpec" = "memory",
+        storage_dir: str | None = None,
     ):
         if params.machine.p != 1:
             raise ParameterError(
@@ -148,10 +162,12 @@ class SequentialEMSimulation:
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
         self.obs = observer if observer is not None else NULL_OBSERVER
+        self.storage_spec = resolve_storage(storage, storage_dir)
 
         m = params.machine
         self.array = DiskArray(
-            m.D, m.B, faults=faults, retry=retry, proc=0, fast_io=fast_io
+            m.D, m.B, faults=faults, retry=retry, proc=0, fast_io=fast_io,
+            storage=self.storage_spec,
         )
         self.allocator = RegionAllocator(self.array)
         self.ledger = CostLedger(m)
@@ -205,16 +221,25 @@ class SequentialEMSimulation:
             if buckets is not None:
                 depth = sum(len(buckets.table[b][d]) for b in range(buckets.nbuckets))
                 self.obs.sample(f"disk{d}/queue_depth", depth)
+            st = disk.storage
+            if st.read_bytes or st.write_bytes:
+                # Non-zero only on non-memory planes, so memory-plane span
+                # streams are unchanged by the storage layer's existence.
+                self.obs.sample(f"disk{d}/storage_read_bytes", st.read_bytes)
+                self.obs.sample(f"disk{d}/storage_write_bytes", st.write_bytes)
 
     # -- main entry ------------------------------------------------------------------
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
-        self._load_input()
-        if self.checkpoint_enabled:
-            self._guarded_checkpoint(0)
-        self._run_from(0)
-        return self._finish()
+        try:
+            self._load_input()
+            if self.checkpoint_enabled:
+                self._guarded_checkpoint(0)
+            self._run_from(0)
+            return self._finish()
+        finally:
+            self._close_storage()
 
     def resume_from_checkpoint(
         self, ckpt: SuperstepCheckpoint
@@ -227,16 +252,33 @@ class SequentialEMSimulation:
         must have been built with the same algorithm and parameters as the
         aborted one (typically on healthy replacement hardware, so no fault
         plan).
+
+        When the checkpoint carries storage references (non-memory plane)
+        and this engine points at the *same* plane kind and ``storage_dir``,
+        the on-disk track files are re-attached in place — no rehydration
+        I/O — which is the fresh-process crash-recovery path.  Otherwise the
+        portable pickled state in the checkpoint is rewritten as usual.
         """
         if ckpt.nprocs != 1:
             raise ParameterError(
                 f"checkpoint holds {ckpt.nprocs} processors, expected 1"
             )
-        self._resumed_from = ckpt.step
-        self.last_checkpoint = ckpt
-        self._restore(ckpt)
-        self._run_from(ckpt.step)
-        return self._finish()
+        try:
+            self._resumed_from = ckpt.step
+            self.last_checkpoint = ckpt
+            refs = getattr(ckpt, "storage_refs", None)
+            if self._refs_attachable(refs):
+                self._attach_storage(ckpt, refs[0])
+            else:
+                self._restore(ckpt)
+            self._run_from(ckpt.step)
+            return self._finish()
+        finally:
+            self._close_storage()
+
+    def _close_storage(self) -> None:
+        self.array.close_storage()
+        self.storage_spec.cleanup()
 
     # -- run skeleton ---------------------------------------------------------------
 
@@ -327,11 +369,75 @@ class SequentialEMSimulation:
                 proc_incoming=[inc_blob],
                 report_blob=freeze((self.report, self.ledger)),
                 dead_disks=[set(self.array.dead_disks)],
+                storage_refs=self._storage_refs(),
             )
             self._checkpoints_taken += 1
             delta = self._io_delta(ops0)
             self._checkpoint_io_ops += delta
             sp.add(io_ops=delta, bytes=self.last_checkpoint.size_bytes())
+
+    def _storage_refs(self) -> list[dict] | None:
+        """Fsync and snapshot the storage plane at a checkpoint barrier.
+
+        Only on non-memory planes: the track files are flushed to stable
+        media (the durability half of the barrier contract) and the returned
+        reference pins the files' live extents, so a fresh process pointed
+        at the same ``storage_dir`` can re-attach them without rehydrating.
+        Pure host-side bookkeeping — no counted I/O.
+        """
+        if self.storage_spec.kind == "memory":
+            return None
+        self.array.sync_storage()
+        inc = self._incoming
+        return [
+            {
+                "kind": self.storage_spec.kind,
+                "root": self.storage_spec.root,
+                "disks": self.array.snapshot_storage(),
+                "alloc": (self.allocator.next_track, list(self.allocator._free)),
+                "ctx_used": list(self.contexts._used),
+                "incoming": None
+                if inc is None
+                else (list(inc.slot_sizes), inc.base, inc.name),
+            }
+        ]
+
+    def _refs_attachable(self, refs: list[dict | None] | None) -> bool:
+        return (
+            refs is not None
+            and len(refs) == 1
+            and refs[0] is not None
+            and self.storage_spec.kind != "memory"
+            and refs[0]["kind"] == self.storage_spec.kind
+            and refs[0]["root"] == self.storage_spec.root
+        )
+
+    def _attach_storage(self, ckpt: SuperstepCheckpoint, ref: dict) -> None:
+        """Re-attach the checkpoint's on-disk track files (no rehydration).
+
+        The engine's drives already point at the same files; installing the
+        snapshot's track maps plus the allocator/region/context metadata
+        re-enters the barrier without a single parallel I/O operation —
+        ``recovery_io_ops`` stays 0, which is the whole point of
+        checkpoint-by-reference.
+        """
+        with self.obs.span("recover", step=ckpt.step) as sp:
+            self.report, self.ledger = thaw(ckpt.report_blob)
+            self.rng.setstate(ckpt.rng_state)
+            self.array.restore_storage(ref["disks"])
+            next_track, free = ref["alloc"]
+            self.allocator.next_track = next_track
+            self.allocator._free = sorted(tuple(run) for run in free)
+            self.contexts._used = list(ref["ctx_used"])
+            self.contexts.invalidate_cache()
+            if ref["incoming"] is not None:
+                slot_sizes, base, name = ref["incoming"]
+                self._incoming = StripedRegion.adopt(
+                    self.array, self.allocator, slot_sizes, base, name=name
+                )
+            sp.add(io_ops=0)
+        if self.obs.enabled:
+            self.obs.metrics.counter("recoveries").inc()
 
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
         """Rewrite the checkpointed barrier state onto the (possibly
@@ -544,6 +650,9 @@ class SequentialEMSimulation:
             mx.gauge("disk_space_tracks").set(self.report.disk_space_tracks)
             mx.counter("ctx_cache/hits").inc(self.contexts.cache_hits)
             mx.counter("ctx_cache/misses").inc(self.contexts.cache_misses)
+            if self.array.storage_read_bytes or self.array.storage_write_bytes:
+                mx.counter("storage/read_bytes").inc(self.array.storage_read_bytes)
+                mx.counter("storage/write_bytes").inc(self.array.storage_write_bytes)
         self._attach_fault_report()
         return outputs, self.report
 

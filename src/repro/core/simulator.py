@@ -59,6 +59,8 @@ def simulate(
     context_cache: bool = False,
     fast_io: bool = False,
     observer: Collector | None = None,
+    storage: str = "memory",
+    storage_dir: str | None = None,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -107,6 +109,22 @@ def simulate(
         changes counted costs, outputs, or reports, and does not force the
         arrays off the fast data plane; export with
         :func:`repro.obs.write_chrome_trace` / :func:`repro.obs.write_jsonl`.
+    storage:
+        Block-storage plane backing the simulated disks: ``"memory"``
+        (default, plain dicts), ``"file"`` (one preallocated track file per
+        drive, accessed with ``pread``/``pwrite``), or ``"mmap"`` (the same
+        files through ``mmap``).  Outputs, counted costs, ledgers, and
+        traces are byte-identical across planes — the model charges I/O
+        before data moves, so where the bytes live is invisible to the
+        accounting (see ``DESIGN.md`` §8).  Non-memory planes make
+        truly out-of-core runs possible: resident heap stays bounded by a
+        handful of blocks while the dataset lives in the track files.
+    storage_dir:
+        Directory for the track files on non-memory planes.  ``None``
+        (default) uses a private temporary directory removed when the run
+        finishes; an explicit path persists after the run (useful for
+        checkpoint/resume across processes) and must be empty or carry the
+        storage marker file from a previous run.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -130,6 +148,8 @@ def simulate(
         context_cache=context_cache,
         fast_io=fast_io,
         observer=observer,
+        storage=storage,
+        storage_dir=storage_dir,
         **engine_kwargs,
     )
     if engine == "sequential":

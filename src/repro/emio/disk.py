@@ -13,7 +13,10 @@ layers (and the Lemma 2 balance benchmarks) can audit behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .storage import BlockStorage
 
 __all__ = ["Block", "Disk", "DiskError", "SHADOW_TRACK_BASE"]
 
@@ -88,15 +91,30 @@ class Disk:
     capacity can be given to test space bounds.  All accesses are counted.
     """
 
-    def __init__(self, disk_id: int, B: int, ntracks: int | None = None):
+    def __init__(
+        self,
+        disk_id: int,
+        B: int,
+        ntracks: int | None = None,
+        storage: "BlockStorage | None" = None,
+    ):
         self.disk_id = disk_id
         self.B = B
         self.capacity = ntracks  # None = unbounded
-        self._tracks: dict[int, Block | None] = {}
+        if storage is None:
+            from .storage import MemoryStorage
+
+            storage = MemoryStorage()
+        self.storage = storage
         self.reads = 0
         self.writes = 0
         self._high_water = -1  # highest track ever written
         self._occupied = 0  # tracks currently holding a block (O(1) used_tracks)
+
+    @property
+    def _tracks(self):
+        """Dict-flavoured window over the storage plane (tests plant blocks here)."""
+        return self.storage.tracks_view()
 
     # -- primitives ------------------------------------------------------------
 
@@ -112,7 +130,7 @@ class Disk:
         """Read the block stored at ``track`` (one disk access)."""
         self._check_track(track)
         self.reads += 1
-        return self._tracks.get(track)
+        return self.storage.get(track)
 
     def write_track(self, track: int, block: Block | None) -> None:
         """Write ``block`` to ``track`` (one disk access)."""
@@ -126,21 +144,20 @@ class Disk:
 
     def _store(self, track: int, block: Block | None) -> None:
         """Place ``block`` at ``track``, maintaining the occupancy counter."""
-        prev = self._tracks.get(track)
-        if (prev is None) != (block is None):
-            self._occupied += 1 if prev is None else -1
-        self._tracks[track] = block
+        prev_present = self.storage.put(track, block)
+        if prev_present != (block is not None):
+            self._occupied += 1 if not prev_present else -1
 
     def discard_track(self, track: int) -> None:
         """Drop a track's contents (deallocation; no access is charged)."""
-        if self._tracks.pop(track, None) is not None:
+        if self.storage.discard(track):
             self._occupied -= 1
 
     # -- inspection (free of charge; simulator-internal) -----------------------
 
     def peek(self, track: int) -> Block | None:
         """Inspect a track without charging an access (for tests/assertions)."""
-        return self._tracks.get(track)
+        return self.storage.peek(track)
 
     @property
     def accesses(self) -> int:
@@ -158,12 +175,14 @@ class Disk:
 
     def occupied(self) -> Iterable[int]:
         """Track numbers currently holding blocks."""
-        return (t for t, b in self._tracks.items() if b is not None)
+        return self.storage.tracks()
 
     def reset_stats(self) -> None:
         self.reads = 0
         self.writes = 0
         self._high_water = -1
+        self.storage.read_bytes = 0
+        self.storage.write_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .disk import SHADOW_TRACK_BASE, Block, Disk, DiskError
+from .storage import StorageSpec
 from .faults import (
     DataLossError,
     FaultInjector,
@@ -62,6 +63,10 @@ class DiskArray:
     proc:
         Real-processor index this array belongs to (selects the fault
         streams and the plan's ``dead_proc`` target).
+    storage:
+        A :class:`~repro.emio.storage.StorageSpec` choosing where the
+        drives' tracks live (memory / file / mmap).  Defaults to the
+        in-heap memory plane.  The plane never changes counted costs.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class DiskArray:
         retry: RetryPolicy | None = None,
         proc: int = 0,
         fast_io: bool = False,
+        storage: "StorageSpec | None" = None,
     ):
         if D < 1:
             raise DiskError(f"D must be >= 1, got {D}")
@@ -93,12 +99,15 @@ class DiskArray:
                 f"for a {D}-disk array (disk ids are 0..{D - 1})"
             )
         self.retry = retry if retry is not None else (RetryPolicy() if faults else None)
+        self.storage_spec = storage if storage is not None else StorageSpec()
+        spec = self.storage_spec
         if faults is not None:
             self.disks: list[Disk] = [
-                FaultyDisk(d, B, ntracks, injector=faults) for d in range(D)
+                FaultyDisk(d, B, ntracks, injector=faults, storage=spec.make(d, B))
+                for d in range(D)
             ]
         else:
-            self.disks = [Disk(d, B, ntracks) for d in range(D)]
+            self.disks = [Disk(d, B, ntracks, storage=spec.make(d, B)) for d in range(D)]
         self.parallel_ops = 0
         # -- fast data plane ----------------------------------------------------
         # When enabled (and the array is healthy, unbounded, and untraced)
@@ -277,7 +286,7 @@ class DiskArray:
             for d, t in ops:
                 disk = self.disks[d]
                 disk.reads += 1
-                out.append(disk._tracks.get(t))
+                out.append(disk.storage.get(t))
             return out
         results: list[Block | None] = [None] * len(ops)
         fresh = [(i, self._resolve_read(d, t)) for i, (d, t) in enumerate(ops)]
@@ -385,7 +394,7 @@ class DiskArray:
             disks = self.disks
             for d, t in addrs:
                 counts[d] += 1
-                out.append(disks[d]._tracks.get(t))
+                out.append(disks[d].storage.get(t))
             for d, c in enumerate(counts):
                 disks[d].reads += c
             self.parallel_ops += max(counts)
@@ -494,6 +503,47 @@ class DiskArray:
         rounds = max(counts) if any(counts) else 0
         self.parallel_ops += rounds
         return rounds
+
+    # -- storage plane -----------------------------------------------------------
+
+    def sync_storage(self) -> None:
+        """Flush every drive's storage to stable media (fsync on file planes)."""
+        for d in self.disks:
+            d.storage.sync()
+
+    def close_storage(self) -> None:
+        """Release every drive's storage resources (file descriptors, maps)."""
+        for d in self.disks:
+            d.storage.close()
+
+    def snapshot_storage(self) -> list[dict | None]:
+        """Per-drive storage snapshots for checkpoint-by-reference (or Nones)."""
+        return [d.storage.snapshot() for d in self.disks]
+
+    def restore_storage(self, snaps: Sequence[dict | None]) -> None:
+        """Re-attach per-drive snapshots and rebuild derived disk statistics."""
+        if len(snaps) != self.D:
+            raise DiskError(
+                f"storage restore carries {len(snaps)} drive snapshots, "
+                f"array has D={self.D}"
+            )
+        for disk, snap in zip(self.disks, snaps):
+            disk.storage.restore(snap)
+            tracks = list(disk.storage.tracks())
+            disk._occupied = len(tracks)
+            disk._high_water = max(
+                (t for t in tracks if t < SHADOW_TRACK_BASE), default=-1
+            )
+
+    @property
+    def storage_read_bytes(self) -> int:
+        """Payload bytes read from the storage plane (0 on the memory plane)."""
+        return sum(d.storage.read_bytes for d in self.disks)
+
+    @property
+    def storage_write_bytes(self) -> int:
+        """Payload bytes written to the storage plane (0 on the memory plane)."""
+        return sum(d.storage.write_bytes for d in self.disks)
 
     # -- statistics ----------------------------------------------------------------
 

@@ -302,8 +302,9 @@ class FaultyDisk(Disk):
         B: int,
         ntracks: int | None = None,
         injector: FaultInjector | None = None,
+        storage=None,
     ):
-        super().__init__(disk_id, B, ntracks)
+        super().__init__(disk_id, B, ntracks, storage=storage)
         self.injector = injector
         self.dead = False
         self._sums: dict[int, int] = {}

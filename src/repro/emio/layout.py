@@ -225,6 +225,39 @@ class StripedRegion:
         self.base = allocator.allocate(self.tracks_per_disk)
         self._freed = False
 
+    @classmethod
+    def adopt(
+        cls,
+        array: DiskArray,
+        allocator: RegionAllocator,
+        slot_sizes: Sequence[int],
+        base: int,
+        name: str = "",
+    ) -> "StripedRegion":
+        """Rebuild a region over an *already allocated* track range.
+
+        Used when re-attaching a storage-plane checkpoint: the blocks are
+        still on disk at ``base``, and the allocator state is restored
+        separately, so no fresh allocation must happen.
+        """
+        region = cls.__new__(cls)
+        region.array = array
+        region.allocator = allocator
+        region.name = name
+        region.slot_sizes = list(slot_sizes)
+        region.offsets = [0]
+        for s in region.slot_sizes:
+            if s < 0:
+                raise DiskError(f"negative slot size in region {name!r}")
+            region.offsets.append(region.offsets[-1] + s)
+        region.total_blocks = region.offsets[-1]
+        region.tracks_per_disk = (
+            -(-region.total_blocks // array.D) if region.total_blocks else 0
+        )
+        region.base = base
+        region._freed = False
+        return region
+
     @property
     def nslots(self) -> int:
         return len(self.slot_sizes)

@@ -1,0 +1,525 @@
+"""Pluggable block-storage planes: where a drive's tracks actually live.
+
+The simulation's *counted* I/O is defined entirely by the model (one access
+per track touched, ``parallel_ops`` per round) and is charged in
+:mod:`repro.emio.diskarray` before any data moves.  *Where* the block images
+live is therefore a free choice — this module makes it a pluggable plane:
+
+* :class:`MemoryStorage` — the historical behaviour: a dict of live
+  ``Block`` objects.  Fast, identity-preserving, heap-bound.
+* :class:`FileStorage` — one preallocated file per drive.  Tracks map to
+  runs of fixed-size *slots*; each stored image is a length-prefixed pickle
+  written with ``os.pwrite`` / read with ``os.pread``.  Slot runs freed by
+  ``discard_track`` are reused (best-fit).  This is the true out-of-core
+  plane: datasets are bounded by the filesystem, not the heap.
+* :class:`MmapStorage` — the same on-disk format accessed through ``mmap``,
+  for read-heavy phases where page-cache mapping beats syscalls.
+
+The storage-plane invariant (DESIGN §8): outputs, the counted-cost ledger,
+and the physical I/O trace are byte-identical across all three planes.
+Storage only adds the ``read_bytes`` / ``write_bytes`` *observability*
+counters, which live outside the model.
+
+Durability: :meth:`FileStorage.sync` fsyncs the track file; the engines call
+it at checkpoint barriers.  :meth:`FileStorage.snapshot` returns a metadata
+snapshot (track map + allocation state) and *pins* the referenced slot runs:
+until the next snapshot supersedes it, overwrites of pinned tracks go to
+freshly allocated slots (track-granularity copy-on-write), so a checkpoint
+that references the snapshot stays readable even though the run continued.
+:meth:`FileStorage.restore` installs such a snapshot on a storage attached
+to the same files — that is how ``resume_from_checkpoint`` re-attaches a
+crashed run's data without rehydrating the array.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a circular import
+    from .disk import Block
+
+__all__ = [
+    "STORAGE_KINDS",
+    "STORAGE_MARKER",
+    "BlockStorage",
+    "MemoryStorage",
+    "FileStorage",
+    "MmapStorage",
+    "StorageSpec",
+    "resolve_storage",
+]
+
+#: Valid values of the ``storage=`` knob, in preference order.
+STORAGE_KINDS = ("memory", "file", "mmap")
+
+#: Marker file written into every claimed ``storage_dir``.  A pre-existing
+#: non-empty directory *without* it is refused (it is somebody else's data);
+#: one *with* it is reused, which is what crash-resume needs.
+STORAGE_MARKER = ".em-storage.json"
+
+_LEN = struct.Struct("<Q")  # length prefix of each stored block image
+
+
+class BlockStorage(Protocol):
+    """Where one drive's tracks live.  All methods are model-cost-free.
+
+    ``put``/``discard`` return whether a block was present before, so the
+    :class:`~repro.emio.disk.Disk` occupancy counter stays O(1) on every
+    plane.  ``read_bytes``/``write_bytes`` count payload bytes actually
+    moved (0 forever on the memory plane) and feed the observer's
+    ``storage_read_bytes``/``storage_write_bytes`` samples.
+    """
+
+    kind: str
+    read_bytes: int
+    write_bytes: int
+
+    def get(self, track: int) -> "Block | None": ...  # pragma: no cover
+
+    def peek(self, track: int) -> "Block | None": ...  # pragma: no cover
+
+    def put(self, track: int, block: "Block | None") -> bool: ...  # pragma: no cover
+
+    def discard(self, track: int) -> bool: ...  # pragma: no cover
+
+    def tracks(self) -> Iterator[int]: ...  # pragma: no cover
+
+    def sync(self) -> None: ...  # pragma: no cover
+
+    def close(self) -> None: ...  # pragma: no cover
+
+    def snapshot(self) -> dict | None: ...  # pragma: no cover
+
+    def restore(self, snap: dict | None) -> None: ...  # pragma: no cover
+
+
+class MemoryStorage:
+    """The historical in-heap plane: a dict of live ``Block`` objects.
+
+    Reads return the *same object* that was written (no copy), matching the
+    pre-storage-plane behaviour that parts of the test suite rely on.  Like
+    the old dict, a ``put(track, None)`` keeps the key with a ``None``
+    value; ``tracks()`` yields only tracks holding a real block.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._tracks: dict[int, "Block | None"] = {}
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+    def get(self, track: int) -> "Block | None":
+        return self._tracks.get(track)
+
+    peek = get
+
+    def put(self, track: int, block: "Block | None") -> bool:
+        prev = self._tracks.get(track)
+        self._tracks[track] = block
+        return prev is not None
+
+    def discard(self, track: int) -> bool:
+        return self._tracks.pop(track, None) is not None
+
+    def tracks(self) -> Iterator[int]:
+        return (t for t, b in self._tracks.items() if b is not None)
+
+    def tracks_view(self) -> dict[int, "Block | None"]:
+        """The raw dict, for tests that plant blocks directly."""
+        return self._tracks
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def snapshot(self) -> dict | None:
+        return None  # nothing on disk to reference; checkpoints carry the data
+
+    def restore(self, snap: dict | None) -> None:
+        from .disk import DiskError
+
+        raise DiskError("MemoryStorage holds no on-disk state to restore from")
+
+
+class _TracksView:
+    """Dict-flavoured window over a non-memory storage (test compatibility)."""
+
+    def __init__(self, storage: "FileStorage"):
+        self._storage = storage
+
+    def get(self, track: int, default=None):
+        blk = self._storage.peek(track)
+        return default if blk is None else blk
+
+    __getitem__ = get
+
+    def __setitem__(self, track: int, block: "Block | None") -> None:
+        self._storage.put(track, block)
+
+    def __contains__(self, track: int) -> bool:
+        return self._storage.peek(track) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._storage.tracks())
+
+
+class FileStorage:
+    """One preallocated track file per drive; pickled images in slot runs.
+
+    Layout: the file is an array of ``slot_bytes``-sized slots.  A stored
+    block occupies a *contiguous run* of slots holding ``<Q`` payload length
+    followed by the pickle of the block.  A track map (``track -> (base
+    slot, run length, payload length)``) lives in memory — tracks are sparse
+    (the shadow namespace starts at ``1 << 40``) so positional addressing is
+    impossible.  Freed runs enter a neighbour-coalescing free list and are
+    reused best-fit; runs freed at the file tail shrink the bump pointer.
+
+    ``slot_bytes`` is a power of two sized so one ``B``-record payload fits
+    a single slot with pickling overhead to spare; oversized images simply
+    span several slots, costing exactly one ``pread``/``pwrite`` either way.
+    """
+
+    kind = "file"
+
+    def __init__(self, path: str | os.PathLike, B: int, slot_bytes: int | None = None):
+        from .disk import Block
+
+        self.path = os.fspath(path)
+        if slot_bytes is None:
+            payload = max(1, B) * Block.BYTES_PER_RECORD
+            slot_bytes = 256
+            while slot_bytes < 2 * payload + _LEN.size + 96:
+                slot_bytes *= 2
+        self.slot_bytes = int(slot_bytes)
+        # O_RDWR|O_CREAT without O_TRUNC: reopening an existing track file
+        # (crash-resume) must keep its contents.
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        self._size = os.fstat(self._fd).st_size
+        self._closed = False
+        self._map: dict[int, tuple[int, int, int]] = {}  # track -> (base, nslots, len)
+        # Free runs as a neighbour-coalescing pair of maps (base -> nslots
+        # and end -> base), so releasing a whole region track by track — the
+        # dominant free pattern — merges in O(1) per track instead of
+        # rescanning a sorted list.
+        self._free_start: dict[int, int] = {}
+        self._free_end: dict[int, int] = {}
+        self._next_slot = 0
+        # Slot runs referenced by the active snapshot: never handed back to
+        # the free list in place (copy-on-write pinning, see module docstring).
+        self._pinned: set[tuple[int, int]] = set()
+        self._deferred: list[tuple[int, int]] = []  # pinned runs freed meanwhile
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self._grow(self.slot_bytes)
+
+    # -- raw extent I/O (overridden by MmapStorage) ----------------------------
+
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        return os.pread(self._fd, nbytes, offset)
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        os.pwrite(self._fd, data, offset)
+
+    def _grow(self, nbytes: int) -> None:
+        if self._size >= nbytes:
+            return
+        # Geometric preallocation: truncate-up only, so reopened files never
+        # lose data and growth costs O(log size) metadata operations.
+        self._size = max(nbytes, 2 * self._size)
+        os.ftruncate(self._fd, self._size)
+
+    # -- slot-run allocation -----------------------------------------------------
+
+    def _alloc(self, nslots: int) -> int:
+        best = None
+        for base, size in self._free_start.items():
+            if size >= nslots and (best is None or (size, base) < best):
+                best = (size, base)
+        if best is not None:
+            size, base = best
+            del self._free_start[base]
+            del self._free_end[base + size]
+            if size > nslots:
+                self._free_start[base + nslots] = size - nslots
+                self._free_end[base + size] = base + nslots
+            return base
+        base = self._next_slot
+        self._next_slot += nslots
+        self._grow(self._next_slot * self.slot_bytes)
+        return base
+
+    def _release(self, base: int, nslots: int) -> None:
+        if nslots <= 0:
+            return
+        if (base, nslots) in self._pinned:
+            self._deferred.append((base, nslots))
+            return
+        prev = self._free_end.pop(base, None)
+        if prev is not None:
+            nslots += self._free_start.pop(prev)
+            base = prev
+        nxt = self._free_start.pop(base + nslots, None)
+        if nxt is not None:
+            del self._free_end[base + nslots + nxt]
+            nslots += nxt
+        if base + nslots == self._next_slot:
+            self._next_slot = base
+        else:
+            self._free_start[base] = nslots
+            self._free_end[base + nslots] = base
+
+    # -- BlockStorage ------------------------------------------------------------
+
+    def _load(self, track: int, count: bool) -> "Block | None":
+        from .disk import DiskError
+
+        ext = self._map.get(track)
+        if ext is None:
+            return None
+        base, _nslots, length = ext
+        raw = self._read_at(base * self.slot_bytes, _LEN.size + length)
+        (stored,) = _LEN.unpack(raw[: _LEN.size])
+        if stored != length:
+            raise DiskError(
+                f"storage file {self.path}: corrupt image at slot {base} "
+                f"(stored length {stored}, expected {length})"
+            )
+        if count:
+            self.read_bytes += len(raw)
+        return pickle.loads(raw[_LEN.size :])
+
+    def get(self, track: int) -> "Block | None":
+        return self._load(track, count=True)
+
+    def peek(self, track: int) -> "Block | None":
+        return self._load(track, count=False)
+
+    def put(self, track: int, block: "Block | None") -> bool:
+        prev = self._map.get(track)
+        if block is None:
+            if prev is None:
+                return False
+            del self._map[track]
+            self._release(prev[0], prev[1])
+            return True
+        payload = pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+        need = -(-(_LEN.size + len(payload)) // self.slot_bytes)
+        if prev is not None and prev[1] == need and (prev[0], prev[1]) not in self._pinned:
+            base = prev[0]  # overwrite in place
+        else:
+            if prev is not None:
+                self._release(prev[0], prev[1])
+            base = self._alloc(need)
+        record = _LEN.pack(len(payload)) + payload
+        self._write_at(base * self.slot_bytes, record)
+        self.write_bytes += len(record)
+        self._map[track] = (base, need, len(payload))
+        return prev is not None
+
+    def discard(self, track: int) -> bool:
+        ext = self._map.pop(track, None)
+        if ext is None:
+            return False
+        self._release(ext[0], ext[1])
+        return True
+
+    def tracks(self) -> Iterator[int]:
+        return iter(list(self._map))
+
+    def tracks_view(self) -> "_TracksView":
+        return _TracksView(self)
+
+    def sync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    # -- snapshot / restore (checkpoint-by-reference) ----------------------------
+
+    def snapshot(self) -> dict:
+        """Pin the current track map and return it as checkpoint metadata.
+
+        Supersedes the previous snapshot: runs it pinned that were freed in
+        the meantime become reusable now.
+        """
+        deferred, self._deferred = self._deferred, []
+        self._pinned = {(base, nslots) for base, nslots, _len in self._map.values()}
+        for base, nslots in deferred:
+            self._release(base, nslots)
+        return {
+            "slot_bytes": self.slot_bytes,
+            "map": {int(t): tuple(ext) for t, ext in self._map.items()},
+            "next_slot": self._next_slot,
+            "free": sorted(
+                (size, base) for base, size in self._free_start.items()
+            ),
+        }
+
+    def restore(self, snap: dict | None) -> None:
+        from .disk import DiskError
+
+        if snap is None:
+            raise DiskError(
+                f"storage file {self.path}: checkpoint carries no storage "
+                "snapshot for this drive"
+            )
+        if snap["slot_bytes"] != self.slot_bytes:
+            raise DiskError(
+                f"storage file {self.path}: snapshot slot size "
+                f"{snap['slot_bytes']} != {self.slot_bytes} (different B?)"
+            )
+        self._map = {int(t): tuple(ext) for t, ext in snap["map"].items()}
+        self._free_start = {base: size for size, base in snap["free"]}
+        self._free_end = {base + size: base for size, base in snap["free"]}
+        self._next_slot = int(snap["next_slot"])
+        self._grow(max(self._next_slot * self.slot_bytes, self.slot_bytes))
+        # The restored checkpoint stays the rollback target until the next
+        # barrier, so its extents are pinned exactly as after snapshot().
+        self._pinned = {(base, nslots) for base, nslots, _len in self._map.values()}
+        self._deferred = []
+
+
+class MmapStorage(FileStorage):
+    """The :class:`FileStorage` format accessed through a shared ``mmap``."""
+
+    kind = "mmap"
+
+    def __init__(self, path: str | os.PathLike, B: int, slot_bytes: int | None = None):
+        self._mm: mmap.mmap | None = None
+        super().__init__(path, B, slot_bytes)
+        if self._mm is None:
+            self._remap()
+
+    def _remap(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+        self._mm = mmap.mmap(self._fd, self._size)
+
+    def _grow(self, nbytes: int) -> None:
+        if self._size >= nbytes:
+            return
+        super()._grow(nbytes)
+        self._remap()
+
+    def _read_at(self, offset: int, nbytes: int) -> bytes:
+        return bytes(self._mm[offset : offset + nbytes])
+
+    def _write_at(self, offset: int, data: bytes) -> None:
+        self._mm[offset : offset + len(data)] = data
+
+    def sync(self) -> None:
+        self._mm.flush()
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        super().close()
+
+
+def _claim_dir(root: str) -> None:
+    """Create or adopt a storage directory, refusing foreign data."""
+    from .disk import DiskError
+
+    marker = os.path.join(root, STORAGE_MARKER)
+    if os.path.exists(root):
+        if not os.path.isdir(root):
+            raise DiskError(f"storage_dir {root!r} exists and is not a directory")
+        if os.listdir(root) and not os.path.exists(marker):
+            raise DiskError(
+                f"storage_dir {root!r} is not empty and carries no "
+                f"{STORAGE_MARKER} marker; refusing to overwrite what looks "
+                "like somebody else's data — point storage_dir at an empty "
+                "directory or at a directory from a previous run"
+            )
+    else:
+        os.makedirs(root, exist_ok=True)
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            json.dump({"format": "em-storage", "version": 1}, fh)
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """A picklable recipe for building one plane's per-drive storages.
+
+    ``owned`` marks a temporary root created because the caller passed no
+    ``storage_dir``; :meth:`cleanup` removes owned roots and leaves explicit
+    ones in place (they are the user's durable data).
+    """
+
+    kind: str = "memory"
+    root: str | None = None
+    owned: bool = False
+
+    @classmethod
+    def create(cls, kind: str = "memory", root: str | os.PathLike | None = None) -> "StorageSpec":
+        from .disk import DiskError
+
+        if kind not in STORAGE_KINDS:
+            raise DiskError(
+                f"unknown storage kind {kind!r} (expected one of {STORAGE_KINDS})"
+            )
+        if kind == "memory":
+            return cls("memory", None, False)
+        if root is None:
+            root = tempfile.mkdtemp(prefix="em-storage-")
+            owned = True
+        else:
+            root = os.path.abspath(os.fspath(root))
+            owned = False
+        _claim_dir(root)
+        return cls(kind, root, owned)
+
+    def proc_root(self, index: int) -> str | None:
+        """Path of processor ``index``'s sub-root (not created)."""
+        if self.kind == "memory":
+            return None
+        return os.path.join(self.root, f"proc{index}")
+
+    def for_proc(self, index: int) -> "StorageSpec":
+        """Derive (and claim) the per-worker spec of real processor ``index``."""
+        if self.kind == "memory":
+            return self
+        sub = self.proc_root(index)
+        _claim_dir(sub)
+        # The engine-level root owns cleanup; per-proc specs never do.
+        return StorageSpec(self.kind, sub, False)
+
+    def make(self, disk_id: int, B: int) -> BlockStorage:
+        """Build the storage of drive ``disk_id``."""
+        if self.kind == "memory":
+            return MemoryStorage()
+        path = os.path.join(self.root, f"disk{disk_id}.dat")
+        impl = FileStorage if self.kind == "file" else MmapStorage
+        return impl(path, B)
+
+    def cleanup(self) -> None:
+        if self.owned and self.root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+def resolve_storage(
+    storage: "str | StorageSpec | None", storage_dir: str | os.PathLike | None
+) -> StorageSpec:
+    """Normalize the engine-level ``storage=``/``storage_dir=`` knobs."""
+    if storage is None:
+        storage = "memory"
+    if isinstance(storage, StorageSpec):
+        return storage
+    return StorageSpec.create(storage, storage_dir)

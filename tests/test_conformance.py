@@ -100,24 +100,33 @@ class TestRepair:
 
 
 class TestEquivalentPlanes:
-    def test_plain_config_gets_a_fastpath_plane(self):
+    def test_plain_config_gets_fastpath_and_storage_planes(self):
         planes = dict(equivalent_planes(small_config()))
-        assert set(planes) == {"primary", "fastpath"}
+        assert set(planes) == {"primary", "fastpath", "file-storage"}
         assert planes["fastpath"].fast_io and planes["fastpath"].context_cache
+        assert planes["file-storage"].storage == "file"
 
     def test_fast_config_gets_a_reference_plane(self):
         planes = dict(
             equivalent_planes(small_config(fast_io=True, context_cache=True))
         )
-        assert set(planes) == {"primary", "reference"}
+        assert set(planes) == {"primary", "reference", "file-storage"}
         assert not planes["reference"].fast_io
 
-    def test_process_backend_yields_three_planes(self):
+    def test_process_backend_yields_four_planes(self):
         cfg = small_config(p=2, v=4, engine="parallel", backend="process",
                            fast_io=True)
         planes = dict(equivalent_planes(cfg))
-        assert set(planes) == {"primary", "reference", "fastpath"}
+        assert set(planes) == {"primary", "reference", "fastpath", "file-storage"}
         assert planes["reference"].backend == "inline"
+
+    def test_storage_config_gets_a_memory_reference(self):
+        planes = dict(equivalent_planes(small_config(storage="mmap")))
+        assert planes["primary"].storage == "mmap"
+        assert planes["reference"].storage == "memory"
+        # The file plane is only added when the primary is on memory; a
+        # non-memory primary already exercises the storage differential.
+        assert "file-storage" not in planes
 
     def test_planes_never_flip_counted_knobs(self):
         cfg = small_config(p=2, v=4, engine="parallel", checkpoint=True)
@@ -137,7 +146,8 @@ class TestOracles:
         assert result.checks["output_vs_reference"] >= 2  # both planes
         assert result.checks["lemma2_balance"] > 0
         assert result.checks["theorem1_io"] > 0
-        assert result.checks["plane_equivalence"] == 1
+        # One equivalence check per non-primary plane: fastpath + file-storage.
+        assert result.checks["plane_equivalence"] == 2
 
     def test_kill_case_exercises_resume_or_skip(self):
         cfg = small_config(fault="kill", checkpoint=True, dead_after=10)

@@ -114,3 +114,57 @@ class TestDiskArray:
             [(0, 0, Block(records=[])), (1, 0, Block(records=[])), (0, 1, Block(records=[]))]
         )
         assert n == 2
+
+
+class TestStoragePlaneDurability:
+    """Barrier durability and directory-safety of the file storage plane."""
+
+    @staticmethod
+    def _simulate(tmp_path=None, **kwargs):
+        from repro.algorithms.sorting import CGMSampleSort
+        from repro.core.simulator import simulate
+        from repro.params import MachineParams
+        from repro.workloads import uniform_keys
+
+        alg = CGMSampleSort(uniform_keys(256, seed=0), v=8)
+        machine = MachineParams(p=1, M=1 << 18, D=4, B=16, b=32)
+        return simulate(alg, machine, v=8, seed=0, **kwargs)
+
+    def test_checkpoint_barriers_fsync_file_plane(self, tmp_path, monkeypatch):
+        """Every checkpoint barrier flushes all track files to stable media
+        (one fsync per drive); without that the checkpoint's storage
+        references could point at data still sitting in page cache."""
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(_os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+        self._simulate(checkpoint=True, storage="file", storage_dir=tmp_path / "t")
+        assert len(synced) >= 4  # >= one barrier x D=4 drives
+
+    def test_memory_plane_never_fsyncs(self, monkeypatch):
+        import os as _os
+
+        synced = []
+        monkeypatch.setattr(_os, "fsync", lambda fd: synced.append(fd))
+        self._simulate(checkpoint=True)
+        assert synced == []
+
+    def test_nonempty_storage_dir_refused_by_name(self, tmp_path):
+        """Pointing storage_dir at a directory holding foreign files must
+        fail loudly, naming the path, before any track file is created."""
+        root = tmp_path / "not-mine"
+        root.mkdir()
+        (root / "data.csv").write_text("precious")
+        with pytest.raises(DiskError) as exc_info:
+            self._simulate(storage="file", storage_dir=root)
+        assert str(root) in str(exc_info.value)
+        assert sorted(p.name for p in root.iterdir()) == ["data.csv"]
+
+    def test_marked_storage_dir_is_adopted(self, tmp_path):
+        """A directory from a previous run (carrying the marker) is reused —
+        that is what crash-resume on the same storage_dir requires."""
+        root = tmp_path / "tracks"
+        out1, _ = self._simulate(storage="file", storage_dir=root)
+        out2, _ = self._simulate(storage="file", storage_dir=root)
+        assert out1 == out2
