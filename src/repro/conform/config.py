@@ -75,6 +75,14 @@ class ConformConfig:
     fast_io: bool = False
     checkpoint: bool = False
     storage: str = "memory"
+    #: Crash axis: inject one host crash at ``crash_point`` (a global index
+    #: over the run's checkpoint-barrier crash stages, see
+    #: :data:`~repro.emio.faults.CRASH_STAGES`), then scrub-and-resume.
+    #: Repair forces ``checkpoint=True``, a non-memory plane, and
+    #: ``fault="none"`` (crash recovery is its own oracle).
+    crash: bool = False
+    crash_point: int = 0
+    crash_seed: int = 0
     sim_seed: int = 0
     # -- fault plan --
     fault: str = "none"
@@ -145,6 +153,14 @@ class ConformConfig:
     def retry_policy(self) -> RetryPolicy | None:
         return RetryPolicy() if self.fault != "none" else None
 
+    def crash_plan(self):
+        """The config's :class:`~repro.emio.faults.CrashPlan` (or ``None``)."""
+        if not self.crash:
+            return None
+        from ..emio.faults import CrashPlan
+
+        return CrashPlan(seed=self.crash_seed, crash_point=self.crash_point)
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -169,6 +185,8 @@ class ConformConfig:
             plane.append("ckpt")
         if self.storage != "memory":
             plane.append(f"storage={self.storage}")
+        if self.crash:
+            plane.append(f"crash@{self.crash_point}")
         fault = "" if self.fault == "none" else f" fault={self.fault}"
         return (
             f"{self.workload} n={self.n} v={self.v} k={self.k} "

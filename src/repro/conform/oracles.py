@@ -27,6 +27,14 @@ Five independent checks, each tied to a guarantee this repo claims:
     from its last checkpoint on a fresh engine, must still equal the
     reference output and report the resume step (checked by the runner,
     which owns the kill-and-resume control flow).
+``crash_resume``
+    Crash consistency (DESIGN §9): a run host-crashed at a checkpoint
+    barrier — after a torn slot write, with pre-fsync writes reordered
+    away, or between the journal's fsync/rename stages — must scrub clean
+    (no quarantined generations: the commit protocol confines damage to
+    extents no committed checkpoint references) and resume from the
+    scrubbed checkpoint with *zero* recovery budget to the exact reference
+    outputs.  Owned by the runner, like ``kill_resume``.
 ``no_crash``
     Implicit: an admissible config must not raise at all (failures under
     this name carry the exception).
@@ -66,6 +74,7 @@ ORACLES = (
     "lemma2_balance",
     "theorem1_io",
     "kill_resume",
+    "crash_resume",
     "no_crash",
 )
 

@@ -7,7 +7,9 @@ all of them byte-for-byte, and checks the quantitative oracles on the
 primary plane.  Kill configs instead drive the checkpoint/kill-resume
 protocol: run to the injected disk death, resume the aborted run from its
 last checkpoint on a fresh healthy engine, and hold the result to the same
-reference-output standard.
+reference-output standard.  Crash configs drive the host-crash protocol:
+die mid-checkpoint at a seeded crash point, ``scrub()`` the storage root,
+and resume with zero recovery budget (the ``crash_resume`` oracle).
 
 :func:`fuzz` draws configs ``0..budget-1`` from the seed, stops at the
 first failure (or runs the full budget with ``stop_on_failure=False``),
@@ -89,6 +91,8 @@ def _build_engine(
     config: ConformConfig,
     faults: FaultPlan | None,
     max_recoveries: int = 8,
+    storage_dir: str | None = None,
+    crash=None,
 ):
     """One engine instance for ``config`` (fresh algorithm, fresh params)."""
     alg = config.algorithm()
@@ -102,6 +106,8 @@ def _build_engine(
         context_cache=config.context_cache,
         fast_io=config.fast_io,
         storage=config.storage,
+        storage_dir=storage_dir,
+        crash=crash,
     )
     if config.engine == "parallel":
         return ParallelEMSimulation(alg, params, backend=config.backend, **kwargs)
@@ -117,6 +123,10 @@ def run_case(config: ConformConfig) -> CaseResult:
         result.failures.append(
             OracleFailure("no_crash", f"reference runner raised {exc!r}")
         )
+        return result
+
+    if config.crash:
+        _run_crash_case(config, reference_out, result)
         return result
 
     if config.fault == "kill":
@@ -152,6 +162,100 @@ def run_case(config: ConformConfig) -> CaseResult:
         result.checks["plane_equivalence"] += len(result.records) - 1
         result.failures.extend(check_plane_equivalence(result.records))
     return result
+
+
+def _run_crash_case(
+    config: ConformConfig, reference_out: list[Any], result: CaseResult
+) -> None:
+    """Drive the crash-and-scrub-resume protocol and check its oracle.
+
+    The config's :class:`~repro.emio.faults.CrashPlan` kills the run at one
+    checkpoint-barrier crash stage (torn write, lost pre-fsync writes, or a
+    kill between journal stages).  Recovery is exactly what a real operator
+    would do: :func:`~repro.core.checkpoint.scrub` the storage root, then
+    resume from the scrubbed checkpoint — on a fresh engine with
+    ``max_recoveries=0``, so the recovery budget cannot paper over storage
+    damage.  Under the commit protocol an honest engine never loses a
+    generation to the scrub, so *any* quarantine is a ``crash_resume``
+    failure in itself.  A crash point past the run's last barrier lets the
+    run finish; that degenerates to a plain conformance check.
+    """
+    import shutil
+    import tempfile
+
+    from ..core.checkpoint import scrub
+    from ..emio.faults import HostCrash
+
+    root = tempfile.mkdtemp(prefix="conform-crash-")
+    try:
+        try:
+            outputs, _report = _build_engine(
+                config, faults=None, storage_dir=root,
+                crash=config.crash_plan(),
+            ).run()
+        except HostCrash:
+            pass
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            result.failures.append(
+                OracleFailure("no_crash", f"crash plane raised {exc!r}")
+            )
+            return
+        else:
+            # The run never reached its crash point: plain conformance check.
+            result.checks["crash_survived"] += 1
+            result.failures.extend(
+                check_outputs("crash-survived", outputs, reference_out)
+            )
+            return
+
+        res = scrub(root)
+        if res.quarantined:
+            result.failures.append(
+                OracleFailure(
+                    "crash_resume",
+                    f"scrub quarantined generations {res.quarantined} after "
+                    f"crash at point {config.crash_point} "
+                    f"({'; '.join(res.errors)}) — the commit protocol should "
+                    "confine damage to uncommitted extents",
+                )
+            )
+            return
+        engine = _build_engine(
+            config, faults=None, max_recoveries=0, storage_dir=root
+        )
+        try:
+            if res.checkpoint is not None:
+                outputs, report = engine.resume_from_checkpoint(res.checkpoint)
+            else:
+                outputs, report = engine.run()
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            result.failures.append(
+                OracleFailure(
+                    "crash_resume",
+                    f"recovery after crash at point {config.crash_point} "
+                    f"raised {exc!r}",
+                )
+            )
+            return
+        label = "crash-restart"
+        if res.checkpoint is not None:
+            label = f"crash-resume@{res.checkpoint.step}"
+            result.checks["crash_resume"] += 1
+            faults = report.faults
+            if faults is None or faults.resumed_from_step != res.checkpoint.step:
+                got = None if faults is None else faults.resumed_from_step
+                result.failures.append(
+                    OracleFailure(
+                        "crash_resume",
+                        f"resumed run reports resumed_from_step={got}, "
+                        f"expected {res.checkpoint.step}",
+                    )
+                )
+        else:
+            result.checks["crash_restart"] += 1
+        result.failures.extend(check_outputs(label, outputs, reference_out))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def _run_kill_case(

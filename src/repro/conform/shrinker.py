@@ -2,7 +2,8 @@
 
 A raw fuzzer failure is usually an unreadable 8-knob tangle.  The shrinker
 repeatedly tries one simplification at a time — drop the fault plan, drop
-checkpointing, fold the process backend to inline, switch the fast knobs
+the crash plan, drop checkpointing, fold the process backend to inline,
+switch the fast knobs
 off, halve ``n`` / ``v`` / ``p`` / ``D`` / ``M`` / ``B``, forget the
 explicit ``k`` — keeping a candidate only if the *same oracle* still fails
 on it.  Every candidate goes back through
@@ -31,7 +32,11 @@ def shrink_candidates(config: ConformConfig) -> Iterator[ConformConfig]:
     c = config
     if c.fault != "none":
         yield repair(c.with_(fault="none"))
-    if c.checkpoint and c.fault != "kill":
+    if c.crash:
+        yield repair(c.with_(crash=False))
+    if c.crash and c.crash_point > 0:
+        yield repair(c.with_(crash_point=c.crash_point // 2))
+    if c.checkpoint and c.fault != "kill" and not c.crash:
         yield repair(c.with_(checkpoint=False))
     if c.backend == "process":
         yield repair(c.with_(backend="inline"))

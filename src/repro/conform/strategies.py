@@ -45,6 +45,12 @@ class StrategyProfile:
     process_rate: float = 0.25
     #: (memory, file, mmap) storage-plane draw weights.
     storage_weights: tuple[float, ...] = (0.6, 0.25, 0.15)
+    #: Fraction of configs that crash at one random checkpoint-barrier
+    #: stage and must scrub-and-resume (the ``crash_resume`` oracle).
+    crash_rate: float = 0.15
+    #: Upper bound (exclusive) of the drawn global crash point; points past
+    #: the run's last barrier simply let the run finish (``crash_survived``).
+    crash_point_max: int = 25
 
 
 DEFAULT = StrategyProfile()
@@ -112,6 +118,9 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
         dead_disk=rng.randrange(0, 64),
         dead_after=rng.randrange(1, 120),
         dead_proc=rng.randrange(0, 64),
+        crash=rng.random() < profile.crash_rate,
+        crash_point=rng.randrange(0, profile.crash_point_max),
+        crash_seed=rng.randrange(1 << 16),
     )
 
 
@@ -188,6 +197,19 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
         d["dead_disk"] = int(d.get("dead_disk", 0)) % D
         d["dead_proc"] = int(d.get("dead_proc", 0)) % p
         d["dead_after"] = max(1, int(d.get("dead_after", 1)))
+
+    # -- crash axis implications --
+    d["crash"] = bool(d.get("crash", False))
+    d["crash_point"] = max(0, int(d.get("crash_point", 0)))
+    d["crash_seed"] = int(d.get("crash_seed", 0))
+    if d["crash"]:
+        # Crash injection needs a durable plane and a checkpoint protocol to
+        # crash *around*; the fault axis is forced off so the crash_resume
+        # verdict is not confounded by retries or a concurrent disk death.
+        d["checkpoint"] = True
+        if d["storage"] == "memory":
+            d["storage"] = "file"
+        d["fault"] = "none"
 
     cfg = ConformConfig.from_dict(d)
     cfg.params()  # admissibility proof; raises ParameterError on a repair bug

@@ -64,14 +64,20 @@ from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
 from ..costs import CostLedger, packets_for
 from ..emio.disk import Block
 from ..emio.diskarray import DiskArray
-from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
+from ..emio.faults import FATAL_IO_FAULTS, CrashPlan, FaultPlan, HostCrash, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..emio.storage import StorageSpec, resolve_storage
 from ..obs.spans import NULL_OBSERVER, Collector, NullObserver
 from ..params import ParameterError, SimulationParams
 from .backend import make_backend
-from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
+from .checkpoint import (
+    CheckpointJournal,
+    SimulationAborted,
+    SuperstepCheckpoint,
+    freeze,
+    thaw,
+)
 from .context import ContextStore
 from .routing import RoutingStats, simulate_routing
 from .stats import FaultReport, PhaseBreakdown, SimulationReport, SuperstepReport
@@ -392,6 +398,11 @@ class _RealProcessor:
             self.io_marker = self.array.parallel_ops
         return 0
 
+    def apply_crash(self, stage: str) -> int:
+        """Inflict one crash stage's byte damage on this worker's drives."""
+        self.array.crash_storage(stage)
+        return 0
+
     def close_storage(self) -> None:
         self.array.close_storage()
 
@@ -533,6 +544,7 @@ class ParallelEMSimulation:
         observer: Collector | None = None,
         storage: "str | StorageSpec" = "memory",
         storage_dir: str | None = None,
+        crash: CrashPlan | None = None,
     ):
         self.algorithm = algorithm
         self.params = params
@@ -549,6 +561,22 @@ class ParallelEMSimulation:
         # The engine claims the root directory; each worker derives (and
         # claims) its proc{i} sub-root from the pickled spec.
         self.storage_spec = resolve_storage(storage, storage_dir)
+        if crash is not None:
+            if self.storage_spec.kind == "memory" or not checkpoint:
+                raise ParameterError(
+                    "crash= injects byte-level damage at checkpoint barriers; "
+                    "it requires checkpoint=True and a non-memory storage plane"
+                )
+            self.storage_spec = self.storage_spec.with_crash(crash)
+        self.crash_plan = crash
+        self._crash_counter = 0
+        # Non-memory checkpointed runs publish every barrier atomically
+        # through a journal inside the engine-level storage root.
+        self._journal = (
+            CheckpointJournal(self.storage_spec.root)
+            if checkpoint and self.storage_spec.kind != "memory"
+            else None
+        )
 
         m, s = params.machine, params.bsp
         self.p = m.p
@@ -741,8 +769,36 @@ class ParallelEMSimulation:
     def _take_checkpoint(self, step: int) -> None:
         """Snapshot every processor's barrier state (charged as local reads;
         the model cost is the maximum over processors, like any phase)."""
+        self._crash_stage("torn")
+        self._crash_stage("lost")
         with self.obs.span("checkpoint", step=step):
             self._take_checkpoint_inner(step)
+        self._publish_checkpoint()
+
+    def _crash_stage(self, stage: str) -> None:
+        """One crash-stage boundary: die here if the plan's point fired.
+
+        The ``"torn"``/``"lost"`` stages first make every worker damage its
+        unsynced write log, then the engine dies — modelling a whole-host
+        crash that takes the workers' page caches with it.
+        """
+        plan = self.crash_plan
+        if plan is None:
+            return
+        point = self._crash_counter
+        self._crash_counter += 1
+        if point != plan.crash_point:
+            return
+        if stage in ("torn", "lost"):
+            self.backend.call_all("apply_crash", [(stage,)] * self.p)
+        raise HostCrash(f"injected host crash at point {point} (stage {stage!r})")
+
+    def _publish_checkpoint(self) -> None:
+        """Atomically publish the barrier through the storage root's journal."""
+        self._crash_stage("postsync")
+        if self._journal is not None:
+            self._journal.commit(self.last_checkpoint, on_stage=self._crash_stage)
+            self.obs.metrics.counter("checkpoint/commits").inc()
 
     def _take_checkpoint_inner(self, step: int) -> None:
         exports = self.backend.call_all("export_checkpoint", [(self.k,)] * self.p)

@@ -45,13 +45,19 @@ from ..bsp.program import AlgorithmError, BSPAlgorithm, VPContext
 from ..costs import CostLedger, packets_for
 from ..emio.disk import Block
 from ..emio.diskarray import DiskArray
-from ..emio.faults import FATAL_IO_FAULTS, FaultPlan, RetryPolicy
+from ..emio.faults import FATAL_IO_FAULTS, CrashPlan, FaultPlan, HostCrash, RetryPolicy
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..emio.storage import StorageSpec, resolve_storage
 from ..obs.spans import NULL_OBSERVER, Collector
 from ..params import ParameterError, SimulationParams
-from .checkpoint import SimulationAborted, SuperstepCheckpoint, freeze, thaw
+from .checkpoint import (
+    CheckpointJournal,
+    SimulationAborted,
+    SuperstepCheckpoint,
+    freeze,
+    thaw,
+)
 from .context import ContextStore
 from .routing import simulate_routing
 from .stats import FaultReport, PhaseBreakdown, SimulationReport, SuperstepReport
@@ -126,6 +132,13 @@ class SequentialEMSimulation:
         Directory for the non-memory planes' track files.  Defaults to a
         private temporary directory removed when the run finishes; an
         explicit directory persists (that is what crash-resume points at).
+    crash:
+        A :class:`~repro.emio.faults.CrashPlan` injecting one hard host
+        crash at a chosen barrier stage (torn/lost unsynced writes, or a
+        kill around the journal commit).  Requires ``checkpoint=True`` and
+        a non-memory plane; the run dies with
+        :class:`~repro.emio.faults.HostCrash` and is meant to be scrubbed
+        and resumed by a fresh engine (see ``repro crashcheck``).
     """
 
     def __init__(
@@ -146,6 +159,7 @@ class SequentialEMSimulation:
         observer: Collector | None = None,
         storage: "str | StorageSpec" = "memory",
         storage_dir: str | None = None,
+        crash: CrashPlan | None = None,
     ):
         if params.machine.p != 1:
             raise ParameterError(
@@ -163,6 +177,22 @@ class SequentialEMSimulation:
         self.max_recoveries = max_recoveries
         self.obs = observer if observer is not None else NULL_OBSERVER
         self.storage_spec = resolve_storage(storage, storage_dir)
+        if crash is not None:
+            if self.storage_spec.kind == "memory" or not checkpoint:
+                raise ParameterError(
+                    "crash= injects byte-level damage at checkpoint barriers; "
+                    "it requires checkpoint=True and a non-memory storage plane"
+                )
+            self.storage_spec = self.storage_spec.with_crash(crash)
+        self.crash_plan = crash
+        self._crash_counter = 0
+        # Non-memory checkpointed runs publish every barrier atomically
+        # through a journal inside the storage root (crash consistency).
+        self._journal = (
+            CheckpointJournal(self.storage_spec.root)
+            if checkpoint and self.storage_spec.kind != "memory"
+            else None
+        )
 
         m = params.machine
         self.array = DiskArray(
@@ -351,8 +381,12 @@ class SequentialEMSimulation:
         Reading the contexts and the incoming region off the simulated disks
         is charged as real parallel I/O (``checkpoint_io_ops``); holding the
         pickled snapshot on the host side is free, like writing it to a
-        durable service outside the machine model.
+        durable service outside the machine model.  On non-memory planes the
+        checkpoint is additionally published through the storage root's
+        journal (atomic commit; see :class:`~repro.core.checkpoint.CheckpointJournal`).
         """
+        self._crash_stage("torn")
+        self._crash_stage("lost")
         with self.obs.span("checkpoint", step=step) as sp:
             ops0 = self.array.parallel_ops
             states = self.contexts.export_all(group_size=self.params.k)
@@ -375,6 +409,33 @@ class SequentialEMSimulation:
             delta = self._io_delta(ops0)
             self._checkpoint_io_ops += delta
             sp.add(io_ops=delta, bytes=self.last_checkpoint.size_bytes())
+        self._publish_checkpoint()
+
+    def _crash_stage(self, stage: str) -> None:
+        """One crash-stage boundary: die here if the plan's point fired.
+
+        Counts every boundary globally (``CRASH_STAGES`` per barrier, in
+        execution order) so a ``CrashPlan.crash_point`` deterministically
+        names one fsync/rename boundary of the run.  The ``"torn"`` and
+        ``"lost"`` stages damage the unsynced write log before dying.
+        """
+        plan = self.crash_plan
+        if plan is None:
+            return
+        point = self._crash_counter
+        self._crash_counter += 1
+        if point != plan.crash_point:
+            return
+        if stage in ("torn", "lost"):
+            self.array.crash_storage(stage)
+        raise HostCrash(f"injected host crash at point {point} (stage {stage!r})")
+
+    def _publish_checkpoint(self) -> None:
+        """Atomically publish the barrier through the storage root's journal."""
+        self._crash_stage("postsync")
+        if self._journal is not None:
+            self._journal.commit(self.last_checkpoint, on_stage=self._crash_stage)
+            self.obs.metrics.counter("checkpoint/commits").inc()
 
     def _storage_refs(self) -> list[dict] | None:
         """Fsync and snapshot the storage plane at a checkpoint barrier.

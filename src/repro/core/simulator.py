@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Literal
 
 from ..bsp.program import BSPAlgorithm
-from ..emio.faults import FaultPlan, RetryPolicy
+from ..emio.faults import CrashPlan, FaultPlan, RetryPolicy
 from ..obs.spans import Collector
 from ..params import BSPParams, MachineParams, SimulationParams
 from .parsim import ParallelEMSimulation
@@ -61,6 +61,7 @@ def simulate(
     observer: Collector | None = None,
     storage: str = "memory",
     storage_dir: str | None = None,
+    crash: CrashPlan | None = None,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -125,6 +126,14 @@ def simulate(
         finishes; an explicit path persists after the run (useful for
         checkpoint/resume across processes) and must be empty or carry the
         storage marker file from a previous run.
+    crash:
+        Optional :class:`~repro.emio.faults.CrashPlan` crashing the run at
+        one crash point around a checkpoint barrier (torn write, lost
+        pre-fsync writes, or a kill between journal stages).  Requires
+        ``checkpoint=True`` and a non-memory storage plane; the crash
+        surfaces as :class:`~repro.emio.faults.HostCrash`.  Recovery is
+        :func:`~repro.core.checkpoint.scrub` plus a fresh engine — see
+        ``repro crashcheck`` and DESIGN §9.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -150,6 +159,7 @@ def simulate(
         observer=observer,
         storage=storage,
         storage_dir=storage_dir,
+        crash=crash,
         **engine_kwargs,
     )
     if engine == "sequential":

@@ -511,6 +511,13 @@ class DiskArray:
         for d in self.disks:
             d.storage.sync()
 
+    def crash_storage(self, stage: str) -> None:
+        """Inflict one crash stage's byte damage on every crash-wrapped drive."""
+        for d in self.disks:
+            apply = getattr(d.storage, "apply_crash", None)
+            if apply is not None:
+                apply(stage)
+
     def close_storage(self) -> None:
         """Release every drive's storage resources (file descriptors, maps)."""
         for d in self.disks:

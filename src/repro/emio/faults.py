@@ -20,6 +20,13 @@ outright drive death.  This module supplies the fault model:
   into the routing fabric.
 * :class:`RetryPolicy` — bounded retries with deterministic backoff, used
   by :class:`~repro.emio.diskarray.DiskArray` to mask transient faults.
+* :class:`CrashPlan` / :class:`CrashyStorage` — the *byte-level* sibling of
+  the above: instead of failing logical track accesses, it models what a
+  hard host crash does to a file-backed storage plane (torn slot writes,
+  unsynced writes reordered past the fsync and lost) at a deterministic,
+  seeded crash point.  :class:`HostCrash` is the injected process death
+  itself — deliberately *not* a ``DiskError``, because a dead host is not
+  a fault the engines can retry or checkpoint-recover in-process.
 
 Error taxonomy (all subclasses of :class:`~repro.emio.disk.DiskError`):
 
@@ -48,11 +55,15 @@ __all__ = [
     "DataLossError",
     "RetryExhaustedError",
     "FATAL_IO_FAULTS",
+    "HostCrash",
+    "CRASH_STAGES",
     "RetryPolicy",
     "FaultStats",
     "FaultPlan",
     "FaultInjector",
     "FaultyDisk",
+    "CrashPlan",
+    "CrashyStorage",
     "block_checksum",
 ]
 
@@ -79,6 +90,34 @@ class RetryExhaustedError(DiskError):
 
 #: Faults a retry cannot mask; engines recover from these via checkpoints.
 FATAL_IO_FAULTS = (DataLossError, PermanentDiskError, RetryExhaustedError)
+
+
+class HostCrash(RuntimeError):
+    """An injected hard process crash (a :class:`CrashPlan` point fired).
+
+    Deliberately *not* a :class:`~repro.emio.disk.DiskError` and not in
+    :data:`FATAL_IO_FAULTS`: a dead host cannot retry or restore anything
+    in-process.  It propagates out of ``run()`` exactly like a real process
+    death, leaving the storage plane in whatever byte state the crash left
+    it; recovery means ``scrub()``-ing the storage root and resuming in a
+    fresh engine (what ``repro crashcheck`` automates).
+    """
+
+
+#: The crash stages injected at every checkpoint barrier, in order.  A
+#: :class:`CrashPlan`'s ``crash_point`` indexes the global stage sequence:
+#: stage ``CRASH_STAGES[k % 5]`` of barrier ``k // 5``.
+#:
+#: * ``"torn"`` — die before the barrier sync with the most recent
+#:   unsynced slot write only partially on the platter.
+#: * ``"lost"`` — die before the barrier sync with a seeded subset of
+#:   unsynced writes dropped (write-behind reordering).
+#: * ``"postsync"`` — die after the track files are synced but before the
+#:   checkpoint journal stages anything.
+#: * ``"staged"`` — die after the journal's temp file is written and
+#:   fsynced but before the commit rename.
+#: * ``"committed"`` — die right after the rename + directory fsync.
+CRASH_STAGES = ("torn", "lost", "postsync", "staged", "committed")
 
 
 @dataclass(frozen=True)
@@ -377,3 +416,128 @@ class FaultyDisk(Disk):
             self._sums.pop(track, None)
         else:
             self._sums[track] = block_checksum(block)
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Seeded, deterministic description of one injected host crash.
+
+    Like :class:`FaultPlan`, a plan is pure configuration and replayable:
+    the same plan against the same run always dies at the same point with
+    the same bytes on disk.  Attach it via the engines' ``crash=`` knob
+    (requires ``checkpoint=True`` and a non-memory storage plane).
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the per-disk survival streams used by the ``"lost"``
+        stage (mixed with ``(proc, disk_id)`` exactly like
+        :class:`FaultInjector` streams are).
+    crash_point:
+        Global index of the stage at which the host dies.  Stages are
+        counted in execution order across the run, :data:`CRASH_STAGES`
+        per checkpoint barrier; an index past the last barrier never fires
+        and the run completes normally.
+    keep_rate:
+        Probability that an individual unsynced write survives a
+        ``"lost"`` crash (write-behind caches flush opportunistically, so
+        an arbitrary subset may have hit the platter).
+    """
+
+    seed: int = 0
+    crash_point: int = 0
+    keep_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.crash_point < 0:
+            raise ValueError("CrashPlan.crash_point must be >= 0")
+        if not 0.0 <= self.keep_rate <= 1.0:
+            raise ValueError(
+                f"CrashPlan.keep_rate must be in [0, 1], got {self.keep_rate}"
+            )
+
+    def stage_of(self, point: int) -> str:
+        """The :data:`CRASH_STAGES` name of global crash point ``point``."""
+        return CRASH_STAGES[point % len(CRASH_STAGES)]
+
+
+class CrashyStorage:
+    """A ``BlockStorage`` wrapper that models what a crash does to bytes.
+
+    The byte-level sibling of :class:`FaultyDisk`, one layer down:
+    ``FaultyDisk`` fails logical track accesses, ``CrashyStorage`` rewrites
+    the underlying file the way an OS crash would have left it.  It shadows
+    the wrapped storage's raw ``_write_at`` to log every write since the
+    last ``sync()`` together with its preimage; :meth:`apply_crash` then
+    inflicts the damage of one :data:`CRASH_STAGES` stage:
+
+    * ``"torn"`` — the most recent unsynced write lands only partially
+      (its first half hits the platter, the tail keeps the preimage).
+    * ``"lost"`` — each unsynced write is independently dropped with
+      probability ``1 - keep_rate`` (nothing after the last fsync is
+      ordered), restoring its preimage newest-first.
+
+    Both are deterministic in ``(plan.seed, proc, disk_id)``.  Because the
+    engines sync at every checkpoint barrier (which clears the log), damage
+    can only ever touch bytes written *after* the last committed barrier —
+    and copy-on-write pinning keeps those disjoint from every extent a
+    committed checkpoint references.  That is the invariant ``scrub()``
+    verifies and the conformance fuzzer's ``crash_resume`` oracle enforces.
+    """
+
+    def __init__(self, inner, plan: CrashPlan, proc: int = 0, disk_id: int = 0):
+        self._inner = inner
+        self.plan = plan
+        mix = (plan.seed * 1_000_003 + proc) * 1_000_003 + disk_id
+        self._rng = random.Random(mix)
+        self._wlog: list[tuple[int, bytes, bytes]] = []  # offset, new, preimage
+        self._raw_write = inner._write_at
+        inner._write_at = self._logged_write  # instance-level shadow
+
+    def _logged_write(self, offset: int, data: bytes) -> None:
+        pre = self._inner._read_at(offset, len(data))
+        if len(pre) < len(data):
+            pre = pre + b"\x00" * (len(data) - len(pre))
+        self._wlog.append((offset, bytes(data), pre))
+        self._raw_write(offset, data)
+
+    def apply_crash(self, stage: str) -> None:
+        """Damage the unsynced suffix of the write stream, then drop the log."""
+        if stage == "torn" and self._wlog:
+            offset, data, pre = self._wlog[-1]
+            cut = max(1, len(data) // 2)
+            self._raw_write(offset, data[:cut] + pre[cut:])
+        elif stage == "lost":
+            for offset, _data, pre in reversed(self._wlog):
+                if self._rng.random() >= self.plan.keep_rate:
+                    self._raw_write(offset, pre)
+        self._wlog.clear()
+
+    def sync(self) -> None:
+        self._inner.sync()
+        self._wlog.clear()  # everything up to here is on the platter
+
+    # -- delegation: everything else is the wrapped storage's business ---------
+
+    @property
+    def kind(self) -> str:
+        return self._inner.kind
+
+    @property
+    def read_bytes(self) -> int:
+        return self._inner.read_bytes
+
+    @read_bytes.setter
+    def read_bytes(self, value: int) -> None:
+        self._inner.read_bytes = value
+
+    @property
+    def write_bytes(self) -> int:
+        return self._inner.write_bytes
+
+    @write_bytes.setter
+    def write_bytes(self, value: int) -> None:
+        self._inner.write_bytes = value
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)

@@ -23,12 +23,24 @@ counters, which live outside the model.
 Durability: :meth:`FileStorage.sync` fsyncs the track file; the engines call
 it at checkpoint barriers.  :meth:`FileStorage.snapshot` returns a metadata
 snapshot (track map + allocation state) and *pins* the referenced slot runs:
-until the next snapshot supersedes it, overwrites of pinned tracks go to
-freshly allocated slots (track-granularity copy-on-write), so a checkpoint
-that references the snapshot stays readable even though the run continued.
-:meth:`FileStorage.restore` installs such a snapshot on a storage attached
-to the same files — that is how ``resume_from_checkpoint`` re-attaches a
-crashed run's data without rehydrating the array.
+overwrites of pinned tracks go to freshly allocated slots
+(track-granularity copy-on-write), so a checkpoint that references the
+snapshot stays readable even though the run continued.  Pins are held for a
+*two-snapshot window*, so the previous checkpoint generation also stays
+intact on disk — that is what lets ``scrub()`` fall back one barrier when
+the newest generation fails verification.  :meth:`FileStorage.restore`
+installs such a snapshot on a storage attached to the same files — that is
+how ``resume_from_checkpoint`` re-attaches a crashed run's data without
+rehydrating the array.
+
+Crash consistency (DESIGN §9): every stored image is *framed* — a header
+carrying a magic number, the write generation, and the payload length,
+sealed with a CRC32 over header and payload.  A torn write (partial frame
+on the platter) or a lost write (the slot still holds an older, internally
+valid frame) is therefore *detected* at read time as a
+:class:`~repro.emio.faults.ChecksumError` instead of deserializing garbage.
+:func:`verify_extents` applies the same validation to a whole snapshot
+without unpickling anything — the primitive ``scrub()`` is built on.
 """
 
 from __future__ import annotations
@@ -40,21 +52,26 @@ import pickle
 import shutil
 import struct
 import tempfile
+import zlib
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a circular import
     from .disk import Block
+    from .faults import CrashPlan
 
 __all__ = [
     "STORAGE_KINDS",
     "STORAGE_MARKER",
+    "FRAME_BYTES",
     "BlockStorage",
     "MemoryStorage",
     "FileStorage",
     "MmapStorage",
     "StorageSpec",
     "resolve_storage",
+    "verify_extents",
 ]
 
 #: Valid values of the ``storage=`` knob, in preference order.
@@ -65,7 +82,71 @@ STORAGE_KINDS = ("memory", "file", "mmap")
 #: one *with* it is reused, which is what crash-resume needs.
 STORAGE_MARKER = ".em-storage.json"
 
-_LEN = struct.Struct("<Q")  # length prefix of each stored block image
+# Per-slot frame: magic | write generation | payload length, then a CRC32
+# sealing header + payload.  The generation tag distinguishes two
+# internally-valid frames written to the same slot in different checkpoint
+# generations — the "lost write" case a bare checksum cannot catch.
+_FRAME = struct.Struct("<IIQ")  # magic, generation, payload length
+_CRC = struct.Struct("<I")
+FRAME_MAGIC = 0x454D5331  # "EMS1"
+#: Bytes of framing overhead in front of every stored payload.
+FRAME_BYTES = _FRAME.size + _CRC.size
+
+
+def _seal_frame(payload: bytes, gen: int) -> bytes:
+    """Frame ``payload`` for storage: sealed header + payload."""
+    prefix = _FRAME.pack(FRAME_MAGIC, gen & 0xFFFFFFFF, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return prefix + _CRC.pack(crc) + payload
+
+
+def _open_frame(raw: bytes, path: str, base: int, length: int, gen: int) -> bytes:
+    """Validate one framed slot image against the map's expectations.
+
+    Returns the payload, or raises :class:`~repro.emio.faults.ChecksumError`
+    (a retriable :class:`~repro.emio.disk.DiskError`) if the frame is short,
+    the magic or CRC32 is wrong, or the stored generation/length disagree
+    with what the track map recorded at write time.
+    """
+    from .faults import ChecksumError
+
+    expect_gen = gen & 0xFFFFFFFF
+    if len(raw) >= FRAME_BYTES + length:
+        magic, stored_gen, stored_len = _FRAME.unpack_from(raw)
+        (stored_crc,) = _CRC.unpack_from(raw, _FRAME.size)
+        payload = raw[FRAME_BYTES : FRAME_BYTES + length]
+        crc = zlib.crc32(payload, zlib.crc32(raw[: _FRAME.size]))
+        if (
+            magic == FRAME_MAGIC
+            and stored_gen == expect_gen
+            and stored_len == length
+            and crc == stored_crc
+        ):
+            return payload
+        detail = (
+            f"stored (magic={magic:#x}, gen={stored_gen}, len={stored_len}, "
+            f"crc={stored_crc:#x}), expected (magic={FRAME_MAGIC:#x}, "
+            f"gen={expect_gen}, len={length}, crc={crc:#x})"
+        )
+    else:
+        detail = f"short read ({len(raw)} of {FRAME_BYTES + length} bytes)"
+    raise ChecksumError(
+        f"storage file {path}: corrupt image at slot {base} ({detail})"
+    )
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so freshly created entries survive a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform cannot open directories
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem rejects directory fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 class BlockStorage(Protocol):
@@ -178,12 +259,14 @@ class FileStorage:
     """One preallocated track file per drive; pickled images in slot runs.
 
     Layout: the file is an array of ``slot_bytes``-sized slots.  A stored
-    block occupies a *contiguous run* of slots holding ``<Q`` payload length
+    block occupies a *contiguous run* of slots holding a sealed frame
+    (magic, write generation, payload length, CRC32 — see :func:`_seal_frame`)
     followed by the pickle of the block.  A track map (``track -> (base
-    slot, run length, payload length)``) lives in memory — tracks are sparse
-    (the shadow namespace starts at ``1 << 40``) so positional addressing is
-    impossible.  Freed runs enter a neighbour-coalescing free list and are
-    reused best-fit; runs freed at the file tail shrink the bump pointer.
+    slot, run length, payload length, generation)``) lives in memory —
+    tracks are sparse (the shadow namespace starts at ``1 << 40``) so
+    positional addressing is impossible.  Freed runs enter a
+    neighbour-coalescing free list and are reused best-fit; runs freed at
+    the file tail shrink the bump pointer.
 
     ``slot_bytes`` is a power of two sized so one ``B``-record payload fits
     a single slot with pickling overhead to spare; oversized images simply
@@ -199,15 +282,17 @@ class FileStorage:
         if slot_bytes is None:
             payload = max(1, B) * Block.BYTES_PER_RECORD
             slot_bytes = 256
-            while slot_bytes < 2 * payload + _LEN.size + 96:
+            while slot_bytes < 2 * payload + FRAME_BYTES + 96:
                 slot_bytes *= 2
         self.slot_bytes = int(slot_bytes)
+        creating = not os.path.exists(self.path)
         # O_RDWR|O_CREAT without O_TRUNC: reopening an existing track file
         # (crash-resume) must keep its contents.
         self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
         self._size = os.fstat(self._fd).st_size
         self._closed = False
-        self._map: dict[int, tuple[int, int, int]] = {}  # track -> (base, nslots, len)
+        # track -> (base, nslots, payload len, write generation)
+        self._map: dict[int, tuple[int, int, int, int]] = {}
         # Free runs as a neighbour-coalescing pair of maps (base -> nslots
         # and end -> base), so releasing a whole region track by track — the
         # dominant free pattern — merges in O(1) per track instead of
@@ -215,13 +300,22 @@ class FileStorage:
         self._free_start: dict[int, int] = {}
         self._free_end: dict[int, int] = {}
         self._next_slot = 0
-        # Slot runs referenced by the active snapshot: never handed back to
-        # the free list in place (copy-on-write pinning, see module docstring).
+        # Slot runs referenced by the last two snapshots: never handed back
+        # to the free list in place (copy-on-write pinning, see module
+        # docstring).  The two-deep window keeps the previous checkpoint
+        # generation intact for scrub()'s fall-back.
+        self._pin_sets: deque[frozenset[tuple[int, int]]] = deque(maxlen=2)
         self._pinned: set[tuple[int, int]] = set()
         self._deferred: list[tuple[int, int]] = []  # pinned runs freed meanwhile
+        self._gen = 0  # current write generation; bumped by snapshot()
         self.read_bytes = 0
         self.write_bytes = 0
         self._grow(self.slot_bytes)
+        if creating:
+            # A fresh storage root must survive a crash immediately after
+            # creation: flush the preallocation, then the directory entry.
+            os.fsync(self._fd)
+            _fsync_dir(os.path.dirname(self.path) or ".")
 
     # -- raw extent I/O (overridden by MmapStorage) ----------------------------
 
@@ -282,22 +376,15 @@ class FileStorage:
     # -- BlockStorage ------------------------------------------------------------
 
     def _load(self, track: int, count: bool) -> "Block | None":
-        from .disk import DiskError
-
         ext = self._map.get(track)
         if ext is None:
             return None
-        base, _nslots, length = ext
-        raw = self._read_at(base * self.slot_bytes, _LEN.size + length)
-        (stored,) = _LEN.unpack(raw[: _LEN.size])
-        if stored != length:
-            raise DiskError(
-                f"storage file {self.path}: corrupt image at slot {base} "
-                f"(stored length {stored}, expected {length})"
-            )
+        base, _nslots, length, gen = ext
+        raw = self._read_at(base * self.slot_bytes, FRAME_BYTES + length)
+        payload = _open_frame(raw, self.path, base, length, gen)
         if count:
             self.read_bytes += len(raw)
-        return pickle.loads(raw[_LEN.size :])
+        return pickle.loads(payload)
 
     def get(self, track: int) -> "Block | None":
         return self._load(track, count=True)
@@ -314,17 +401,17 @@ class FileStorage:
             self._release(prev[0], prev[1])
             return True
         payload = pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
-        need = -(-(_LEN.size + len(payload)) // self.slot_bytes)
+        need = -(-(FRAME_BYTES + len(payload)) // self.slot_bytes)
         if prev is not None and prev[1] == need and (prev[0], prev[1]) not in self._pinned:
             base = prev[0]  # overwrite in place
         else:
             if prev is not None:
                 self._release(prev[0], prev[1])
             base = self._alloc(need)
-        record = _LEN.pack(len(payload)) + payload
+        record = _seal_frame(payload, self._gen)
         self._write_at(base * self.slot_bytes, record)
         self.write_bytes += len(record)
-        self._map[track] = (base, need, len(payload))
+        self._map[track] = (base, need, len(payload), self._gen)
         return prev is not None
 
     def discard(self, track: int) -> bool:
@@ -353,15 +440,25 @@ class FileStorage:
     def snapshot(self) -> dict:
         """Pin the current track map and return it as checkpoint metadata.
 
-        Supersedes the previous snapshot: runs it pinned that were freed in
-        the meantime become reusable now.
+        Opens a new write generation.  Pins are held for a two-snapshot
+        window: runs pinned two barriers ago (and freed in the meantime)
+        become reusable now, so the *previous* checkpoint generation's
+        extents are never recycled while ``scrub()`` could still fall back
+        to them.
         """
+        snap_gen = self._gen
+        self._gen += 1
+        live = frozenset(
+            (base, nslots) for base, nslots, _len, _gen in self._map.values()
+        )
+        self._pin_sets.append(live)
+        self._pinned = set().union(*self._pin_sets)
         deferred, self._deferred = self._deferred, []
-        self._pinned = {(base, nslots) for base, nslots, _len in self._map.values()}
         for base, nslots in deferred:
-            self._release(base, nslots)
+            self._release(base, nslots)  # re-defers runs that are still pinned
         return {
             "slot_bytes": self.slot_bytes,
+            "gen": snap_gen,
             "map": {int(t): tuple(ext) for t, ext in self._map.items()},
             "next_slot": self._next_slot,
             "free": sorted(
@@ -386,10 +483,17 @@ class FileStorage:
         self._free_start = {base: size for size, base in snap["free"]}
         self._free_end = {base + size: base for size, base in snap["free"]}
         self._next_slot = int(snap["next_slot"])
+        # Resume the write-generation clock where the snapshot left it, so
+        # a resumed run stamps frames exactly like the original would have.
+        self._gen = int(snap.get("gen", 0)) + 1
         self._grow(max(self._next_slot * self.slot_bytes, self.slot_bytes))
         # The restored checkpoint stays the rollback target until the next
         # barrier, so its extents are pinned exactly as after snapshot().
-        self._pinned = {(base, nslots) for base, nslots, _len in self._map.values()}
+        live = frozenset(
+            (base, nslots) for base, nslots, _len, _gen in self._map.values()
+        )
+        self._pin_sets = deque([live], maxlen=2)
+        self._pinned = set(live)
         self._deferred = []
 
 
@@ -406,6 +510,10 @@ class MmapStorage(FileStorage):
 
     def _remap(self) -> None:
         if self._mm is not None:
+            # Push dirty pages down before dropping the mapping: a crash
+            # between remaps must not lose writes that only ever lived in
+            # the old mapping's pages.
+            self._mm.flush()
             self._mm.close()
         self._mm = mmap.mmap(self._fd, self._size)
 
@@ -427,6 +535,7 @@ class MmapStorage(FileStorage):
 
     def close(self) -> None:
         if self._mm is not None:
+            self._mm.flush()
             self._mm.close()
             self._mm = None
         super().close()
@@ -452,6 +561,38 @@ def _claim_dir(root: str) -> None:
     if not os.path.exists(marker):
         with open(marker, "w", encoding="utf-8") as fh:
             json.dump({"format": "em-storage", "version": 1}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        # Make the claim itself durable: the marker's directory entry (and
+        # the freshly created root's entry in its parent) must survive a
+        # crash right after creation, or resume would refuse the directory.
+        _fsync_dir(root)
+        _fsync_dir(os.path.dirname(root) or ".")
+
+
+def verify_extents(path: str | os.PathLike, snap: dict) -> int:
+    """Raw-verify every framed slot image a storage snapshot references.
+
+    Reads each mapped extent directly off ``path`` and validates its frame
+    (magic, generation, length, CRC32) without unpickling anything — torn
+    or lost writes inside a checkpointed extent surface as
+    :class:`~repro.emio.faults.ChecksumError` here, before a resume could
+    attach to them.  Returns the number of extents verified.  This is the
+    primitive :func:`repro.core.checkpoint.scrub` is built on.
+    """
+    path = os.fspath(path)
+    slot_bytes = int(snap["slot_bytes"])
+    checked = 0
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        for _track, ext in snap["map"].items():
+            base, _nslots, length, gen = (int(x) for x in ext)
+            raw = os.pread(fd, FRAME_BYTES + length, base * slot_bytes)
+            _open_frame(raw, path, base, length, gen)
+            checked += 1
+    finally:
+        os.close(fd)
+    return checked
 
 
 @dataclass(frozen=True)
@@ -461,11 +602,19 @@ class StorageSpec:
     ``owned`` marks a temporary root created because the caller passed no
     ``storage_dir``; :meth:`cleanup` removes owned roots and leaves explicit
     ones in place (they are the user's durable data).
+
+    ``crash`` optionally attaches a :class:`~repro.emio.faults.CrashPlan`:
+    every non-memory storage built by :meth:`make` is then wrapped in a
+    :class:`~repro.emio.faults.CrashyStorage` so the engines can inflict
+    deterministic byte-level crash damage.  ``proc`` records which real
+    processor this spec builds for (it seeds the per-disk crash streams).
     """
 
     kind: str = "memory"
     root: str | None = None
     owned: bool = False
+    crash: "CrashPlan | None" = None
+    proc: int = 0
 
     @classmethod
     def create(cls, kind: str = "memory", root: str | os.PathLike | None = None) -> "StorageSpec":
@@ -499,7 +648,11 @@ class StorageSpec:
         sub = self.proc_root(index)
         _claim_dir(sub)
         # The engine-level root owns cleanup; per-proc specs never do.
-        return StorageSpec(self.kind, sub, False)
+        return StorageSpec(self.kind, sub, False, self.crash, index)
+
+    def with_crash(self, plan: "CrashPlan | None") -> "StorageSpec":
+        """This spec with a byte-level crash plan attached."""
+        return StorageSpec(self.kind, self.root, self.owned, plan, self.proc)
 
     def make(self, disk_id: int, B: int) -> BlockStorage:
         """Build the storage of drive ``disk_id``."""
@@ -507,7 +660,12 @@ class StorageSpec:
             return MemoryStorage()
         path = os.path.join(self.root, f"disk{disk_id}.dat")
         impl = FileStorage if self.kind == "file" else MmapStorage
-        return impl(path, B)
+        store: BlockStorage = impl(path, B)
+        if self.crash is not None:
+            from .faults import CrashyStorage
+
+            store = CrashyStorage(store, self.crash, self.proc, disk_id)
+        return store
 
     def cleanup(self) -> None:
         if self.owned and self.root:

@@ -151,7 +151,7 @@ class TestSlotAllocation:
         s = make(FileStorage, tmp_path)
         big = Block(records=list(range(200)))
         s.put(1, big)
-        base, nslots, _ = s._map[1]
+        base, nslots = s._map[1][:2]
         s.put(2, blk(2))  # tail guard
         s.discard(1)
         s.put(3, blk(3))  # short run carved from the front of the hole
@@ -230,11 +230,16 @@ class TestSnapshotRestore:
         s.close()
 
     def test_superseding_snapshot_releases_deferred(self, tmp_path):
+        """The pin window is two snapshots deep (scrub's fallback barrier
+        must stay readable), so a deferred extent frees only once TWO
+        later snapshots no longer pin it."""
         s = make(FileStorage, tmp_path)
         s.put(1, blk(1))
         s.snapshot()
         s.put(1, blk(8))
         assert s._deferred
+        s.snapshot()
+        assert s._deferred  # still pinned by the previous snapshot
         s.snapshot()
         assert s._deferred == []
         s.close()
