@@ -9,6 +9,9 @@ performance knobs introduced by the fast path work:
 * ``par_inline``      — parallel engine (p=4), inline backend, reference plane
 * ``par_fast_inline`` — parallel engine, inline backend, fast path
 * ``par_fast_process``— parallel engine, process backend, fast path
+* ``seq_fast_vector``/``par_fast_process_vector`` — the fast configs on the
+  vectorized record plane (``records="vector"``, DESIGN §10): numpy blocks
+  and argsort/searchsorted kernels instead of boxed records
 * ``seq_fast_observed``/``par_fast_observed`` — the fast configs with a
   telemetry :class:`repro.obs.Collector` attached (span/metric overhead)
 * ``seq_file_storage``  — sequential engine on the out-of-core file plane
@@ -67,6 +70,21 @@ CONFIGS = [
         {"backend": "process", "context_cache": True, "fast_io": True},
     ),
     (
+        "seq_fast_vector",
+        "sequential",
+        {"context_cache": True, "fast_io": True, "records": "vector"},
+    ),
+    (
+        "par_fast_process_vector",
+        "parallel",
+        {
+            "backend": "process",
+            "context_cache": True,
+            "fast_io": True,
+            "records": "vector",
+        },
+    ),
+    (
         "seq_fast_observed",
         "sequential",
         {"context_cache": True, "fast_io": True, "observe": True},
@@ -116,11 +134,14 @@ def _workloads(quick: bool) -> list[dict[str, Any]]:
 
 def _run_config(name: str, engine: str, kwargs: dict, make, v: int) -> dict[str, Any]:
     alg = make()
+    kwargs = dict(kwargs)
+    records = kwargs.pop("records", None)
+    if records is not None:
+        alg.set_record_mode(records)
     p = 4 if engine == "parallel" else 1
     machine = MachineParams(p=p, M=1 << 20, D=4, B=32, b=64)
     params = build_params(alg, machine, v=v)
     cls = SequentialEMSimulation if engine == "sequential" else ParallelEMSimulation
-    kwargs = dict(kwargs)
     observer = None
     if kwargs.pop("observe", False):
         from repro.obs import Collector
@@ -185,6 +206,10 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
             ("par_fast_process", "par_inline"),
             ("seq_fast_observed", "seq_reference"),
             ("par_fast_observed", "par_inline"),
+            # Vector-plane invariant (DESIGN §10): swapping boxed records
+            # for numpy arrays must not move a single counted cost either.
+            ("seq_fast_vector", "seq_reference"),
+            ("par_fast_process_vector", "par_inline"),
             # Storage-plane invariant (DESIGN §8): moving the tracks out of
             # heap must not move a single counted cost.
             ("seq_file_storage", "seq_reference"),
@@ -210,6 +235,16 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
                 configs["par_inline"]["wall_s"] / configs["par_fast_process"]["wall_s"],
                 3,
             ),
+            "speedup_seq_fast_vector": round(
+                configs["seq_reference"]["wall_s"]
+                / configs["seq_fast_vector"]["wall_s"],
+                3,
+            ),
+            "speedup_par_fast_process_vector": round(
+                configs["par_inline"]["wall_s"]
+                / configs["par_fast_process_vector"]["wall_s"],
+                3,
+            ),
             "observer_overhead_seq": round(
                 configs["seq_fast_observed"]["wall_s"] / configs["seq_fast"]["wall_s"]
                 - 1.0,
@@ -225,7 +260,8 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
         print(
             f"  speedups: seq_fast={entry['speedup_seq_fast']}x  "
             f"par_fast_inline={entry['speedup_par_fast_inline']}x  "
-            f"par_fast_process={entry['speedup_par_fast_process']}x"
+            f"par_fast_process={entry['speedup_par_fast_process']}x  "
+            f"seq_fast_vector={entry['speedup_seq_fast_vector']}x"
         )
         print(
             f"  observer overhead: seq={entry['observer_overhead_seq']:+.1%}  "
@@ -244,14 +280,130 @@ def run_suite(quick: bool) -> tuple[dict[str, Any], list[str]]:
                     "the 5% telemetry budget"
                 )
         results["workloads"][name] = entry
-    sort_entry = results["workloads"]["sort"]
+    results["workloads"]["sort_large"] = _headline_entry(quick, violations)
+    if not quick:
+        results["workloads"]["sort_10m"] = _sort_10m_entry(violations)
     results["headline"] = {
-        "workload": "sort",
-        "config": "seq_fast vs seq_reference",
-        "speedup": sort_entry["speedup_seq_fast"],
+        "workload": "sort_large",
+        "config": "seq_fast_vector vs seq_reference",
+        "speedup": results["workloads"]["sort_large"]["speedup_seq_fast_vector"],
     }
     results["counted_cost_violations"] = violations
     return results, violations
+
+
+def _headline_entry(quick: bool, violations: list[str]) -> dict[str, Any]:
+    """The headline pair: reference object plane vs vectorized fast path.
+
+    A dedicated large-share sort (one sequential engine, few virtual
+    processors): the reference run is dominated by per-record interpreter
+    work, which the vector plane replaces with ``np.sort``/``searchsorted``
+    kernels, while both planes pay the same counted I/O.  The pair must
+    agree on every counted cost — the golden discipline of DESIGN §10.
+    """
+    if quick:
+        n, v, M = 32768, 8, 1 << 20
+    else:
+        n, v, M = 524288, 16, 1 << 21
+    data = uniform_keys(n, seed=SEED)
+    machine = MachineParams(p=1, M=M, D=4, B=32, b=64)
+    configs: dict[str, Any] = {}
+    for cname, mode, kw in (
+        ("seq_reference", "object", {}),
+        ("seq_fast_vector", "vector", {"context_cache": True, "fast_io": True}),
+    ):
+        alg = CGMSampleSort(list(data), v=v)
+        alg.set_record_mode(mode)
+        sim = SequentialEMSimulation(
+            alg, build_params(alg, machine, v=v), seed=SEED, **kw
+        )
+        t0 = time.perf_counter()
+        outputs, report = sim.run()
+        wall = time.perf_counter() - t0
+        led = report.ledger
+        configs[cname] = {
+            "wall_s": round(wall, 4),
+            "io_ops": led.total_io_ops,
+            "comm_packets": led.total_comm_packets,
+            "comp_ops": led.total_comp,
+            "records_io": led.total_records_io,
+            "outputs_digest": hash(repr(outputs)) & 0xFFFFFFFF,
+        }
+    for kct in COUNTED:
+        if configs["seq_fast_vector"][kct] != configs["seq_reference"][kct]:
+            violations.append(
+                f"sort_large: seq_fast_vector.{kct}="
+                f"{configs['seq_fast_vector'][kct]} != "
+                f"seq_reference.{kct}={configs['seq_reference'][kct]}"
+            )
+    entry = {
+        "n": n,
+        "v": v,
+        "machine_params": {"p": 1, "D": 4, "B": 32, "b": 64, "M": M},
+        "configs": configs,
+        "speedup_seq_fast_vector": round(
+            configs["seq_reference"]["wall_s"]
+            / configs["seq_fast_vector"]["wall_s"],
+            3,
+        ),
+    }
+    print(f"== sort_large (n={n}, v={v}) ==")
+    for cname, r in configs.items():
+        print(f"  {cname:17s} wall={r['wall_s']:8.3f}s  io={r['io_ops']:7d}")
+    print(f"  speedup: seq_fast_vector={entry['speedup_seq_fast_vector']}x")
+    return entry
+
+
+def _sort_10m_entry(violations: list[str]) -> dict[str, Any]:
+    """n=10M sort on the vectorized plane only (full mode; no object twin —
+    the boxed run would take minutes).  Verified against ``np.sort``."""
+    import numpy as np
+
+    n, v = 10_000_000, 256
+    rng = np.random.default_rng(SEED)
+    data = rng.integers(0, 1 << 30, size=n, dtype=np.int64)
+    machine = MachineParams(p=1, M=1 << 22, D=4, B=1024, b=2048)
+    alg = CGMSampleSort(data, v=v)
+    alg.set_record_mode("vector")
+    sim = SequentialEMSimulation(
+        alg,
+        build_params(alg, machine, v=v),
+        seed=SEED,
+        context_cache=True,
+        fast_io=True,
+    )
+    t0 = time.perf_counter()
+    outputs, report = sim.run()
+    wall = time.perf_counter() - t0
+    flat = np.concatenate(
+        [np.asarray(o, dtype=np.int64) for o in outputs if len(o)]
+    )
+    sorted_ok = bool(np.array_equal(flat, np.sort(data)))
+    if not sorted_ok:
+        violations.append("sort_10m: vectorized output differs from np.sort")
+    led = report.ledger
+    entry = {
+        "n": n,
+        "v": v,
+        "machine_params": {"p": 1, "D": 4, "B": 1024, "b": 2048, "M": 1 << 22},
+        "sorted_ok": sorted_ok,
+        "configs": {
+            "seq_fast_vector": {
+                "wall_s": round(wall, 4),
+                "io_ops": led.total_io_ops,
+                "comm_packets": led.total_comm_packets,
+                "comp_ops": led.total_comp,
+                "records_io": led.total_records_io,
+                "outputs_digest": int(np.sum(flat % 1000003)) & 0xFFFFFFFF,
+            }
+        },
+    }
+    print(f"== sort_10m (n={n}, v={v}, vector plane only) ==")
+    print(
+        f"  seq_fast_vector   wall={wall:8.3f}s  "
+        f"io={led.total_io_ops:7d}  sorted_ok={sorted_ok}"
+    )
+    return entry
 
 
 def check_regression(results: dict[str, Any], baseline_path: str) -> None:
@@ -300,7 +452,10 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"\nwrote {args.out}")
-    print(f"headline: sort seq fast-path speedup = {results['headline']['speedup']}x")
+    print(
+        "headline: sort seq fast-path (vector records) speedup = "
+        f"{results['headline']['speedup']}x"
+    )
 
     if args.check_regression:
         check_regression(results, args.check_regression)

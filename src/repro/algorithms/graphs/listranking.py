@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+import numpy as np
+
 from ...bsp.collectives import owner_of_index, share_bounds
 from ...bsp.program import BSPAlgorithm, VPContext
 
@@ -45,6 +47,20 @@ def _coin(node: int, rnd: int, seed: int) -> int:
     x ^= x >> 31
     x = (x * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
     return (x >> 17) & 1
+
+
+def _coin_arr(nodes: np.ndarray, rnd: int, seed: int) -> np.ndarray:
+    """:func:`_coin` over a node array — bit-identical, uint64 wraparound
+    plays the role of the ``& 0xFFFF...`` masks (mod-2**64 arithmetic is
+    associative, so hoisting the round/seed term out is exact)."""
+    add = np.uint64(
+        (rnd * 0xBF58476D1CE4E5B9 + seed * 0x94D049BB) & 0xFFFFFFFFFFFFFFFF
+    )
+    with np.errstate(over="ignore"):
+        x = nodes.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15) + add
+        x ^= x >> np.uint64(31)
+        x *= np.uint64(0x9E3779B97F4A7C15)
+    return ((x >> np.uint64(17)) & np.uint64(1)).astype(np.int64)
 
 
 class CGMListRanking(BSPAlgorithm):
@@ -64,7 +80,14 @@ class CGMListRanking(BSPAlgorithm):
         Seed of the contraction coins.
 
     Output ``j`` is the list of ``(node, rank)`` pairs for vp ``j``'s nodes.
+
+    The ``"vector"`` record mode swaps the per-node coin and removal-round
+    scans for numpy kernels; contexts and message payloads are untouched
+    (the mixed-tag payloads are not codec-encodable), so golden identity
+    with the object plane is structural.
     """
+
+    RECORD_MODES = ("object", "vector")
 
     def __init__(
         self,
@@ -155,19 +178,34 @@ class CGMListRanking(BSPAlgorithm):
         st = ctx.state
         rnd, lo = st["round"], st["lo"]
         by_dest: dict[int, list] = {}
-        nactive = 0
-        for li in range(st["m"]):
-            if not st["active"][li]:
-                continue
-            nactive += 1
-            u = lo + li
-            s = st["succ"][li]
-            if s == u:
-                continue  # tail
-            if _coin(u, rnd, self.seed) == 1 and _coin(s, rnd, self.seed) == 0:
+        if self.record_mode == "vector":
+            active_idx = np.flatnonzero(np.asarray(st["active"], bool))
+            nactive = len(active_idx)
+            u_arr = active_idx + lo
+            s_arr = np.asarray(st["succ"], np.int64)[active_idx]
+            nontail = s_arr != u_arr
+            u_arr, s_arr = u_arr[nontail], s_arr[nontail]
+            hit = (_coin_arr(u_arr, rnd, self.seed) == 1) & (
+                _coin_arr(s_arr, rnd, self.seed) == 0
+            )
+            for u, s in zip(u_arr[hit].tolist(), s_arr[hit].tolist()):
                 by_dest.setdefault(self._owner(s, ctx.nprocs), []).extend(
                     ("A", u, s)
                 )
+        else:
+            nactive = 0
+            for li in range(st["m"]):
+                if not st["active"][li]:
+                    continue
+                nactive += 1
+                u = lo + li
+                s = st["succ"][li]
+                if s == u:
+                    continue  # tail
+                if _coin(u, rnd, self.seed) == 1 and _coin(s, rnd, self.seed) == 0:
+                    by_dest.setdefault(self._owner(s, ctx.nprocs), []).extend(
+                        ("A", u, s)
+                    )
         # Piggyback the active count for vp 0's gather decision.
         by_dest.setdefault(0, []).extend(("N", ctx.pid, nactive))
         ctx.charge(st["m"])
@@ -281,12 +319,19 @@ class CGMListRanking(BSPAlgorithm):
         if st["eround"] is not None and st["eround"] >= 0:
             er, lo = st["eround"], st["lo"]
             by_dest: dict[int, list] = {}
-            for li in range(st["m"]):
-                if st["rem_round"][li] == er:
-                    x = st["rem_x"][li]
-                    by_dest.setdefault(self._owner(x, ctx.nprocs), []).extend(
-                        (lo + li, x)
-                    )
+            if self.record_mode == "vector":
+                removed = np.flatnonzero(
+                    np.asarray(st["rem_round"], np.int64) == er
+                ).tolist()
+            else:
+                removed = [
+                    li for li in range(st["m"]) if st["rem_round"][li] == er
+                ]
+            for li in removed:
+                x = st["rem_x"][li]
+                by_dest.setdefault(self._owner(x, ctx.nprocs), []).extend(
+                    (lo + li, x)
+                )
             ctx.charge(st["m"])
             ctx.send_all(by_dest)
             # Even with zero local requests the vp must stay in lockstep:

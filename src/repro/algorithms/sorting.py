@@ -17,11 +17,23 @@ parallel sorting [Goodrich 96] / parallel sorting by regular sampling:
 ``lambda = O(1)`` supersteps, ``T_comp = O((n/v) log n)``, ``M = O(n/v)``
 — the Table 1 row.  Requires ``n >= v^2`` (the usual CGM coarseness
 condition ``n/p >= p``).
+
+**Record planes.**  When the input is exactly int64 (plain ints or a signed
+integer ndarray) and no ``key`` is given, the algorithm is *codec-eligible*
+and its per-vp state holds the share as canonical ``i64`` codec bytes in
+**both** record modes — so context pickles, and therefore every counted
+I/O cost derived from them, are equal by construction.  The ``"object"``
+mode decodes the bytes and runs the per-record reference logic; the
+``"vector"`` mode runs ``np.sort``/``searchsorted`` kernels over zero-copy
+views and ships ndarray message payloads.  Ineligible inputs (custom keys,
+non-int records) keep the historical list-state path untouched.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from ..bsp.collectives import (
     merge_sorted,
@@ -30,6 +42,8 @@ from ..bsp.collectives import (
     share_bounds,
 )
 from ..bsp.program import BSPAlgorithm, VPContext
+from ..emio.codec import get_codec
+from ._vec import I64, as_i64, int64_array, sample_positions
 
 __all__ = ["CGMSampleSort"]
 
@@ -42,11 +56,13 @@ class CGMSampleSort(BSPAlgorithm):
     ----------
     data:
         The records to sort (any totally ordered values, or use ``key``).
+        Plain int64 data (or a signed integer ndarray) enables the
+        vectorized record plane (``RECORD_MODES`` grows ``"vector"``).
     v:
         Number of virtual processors; ``len(data) >= v*v`` is required for
         the regular-sampling balance guarantee.
     key:
-        Optional sort key.
+        Optional sort key (disables codec eligibility).
     """
 
     LAMBDA = 4  # supersteps (communication rounds lambda = 3 + final halt)
@@ -59,10 +75,17 @@ class CGMSampleSort(BSPAlgorithm):
                 f"CGM sort needs n >= v^2 (n={len(data)}, v={v}); "
                 "use fewer virtual processors"
             )
-        self.data = list(data)
         self.v = v
         self.key = key
         self.n = len(data)
+        arr = int64_array(data) if key is None else None
+        if arr is not None:
+            self._codec = "i64"
+            self.data = arr
+            self.RECORD_MODES = ("object", "vector")
+        else:
+            self._codec = None
+            self.data = list(data)
 
     # -- resource declarations ------------------------------------------------------
 
@@ -82,9 +105,24 @@ class CGMSampleSort(BSPAlgorithm):
 
     def initial_state(self, pid: int, nprocs: int):
         lo, hi = share_bounds(self.n, nprocs, pid)
-        return {"items": self.data[lo:hi], "result": None}
+        if self._codec is None:
+            return {"items": self.data[lo:hi], "result": None}
+        # Canonical codec bytes: identical state image in both record modes.
+        return {
+            "enc": self._codec,
+            "items": self.data[lo:hi].tobytes(),
+            "result": None,
+        }
 
     def superstep(self, ctx: VPContext) -> None:
+        if self._codec is None:
+            self._superstep_legacy(ctx)
+        elif self.record_mode == "vector":
+            self._superstep_vector(ctx)
+        else:
+            self._superstep_object(ctx)
+
+    def _superstep_legacy(self, ctx: VPContext) -> None:
         v, key = ctx.nprocs, self.key
         st = ctx.state
         if ctx.step == 0:
@@ -115,5 +153,85 @@ class CGMSampleSort(BSPAlgorithm):
             ctx.charge(sum(len(r) for r in runs) * max(1, v.bit_length()))
             ctx.vote_halt()
 
+    def _superstep_object(self, ctx: VPContext) -> None:
+        """Codec-eligible reference plane: decode bytes, run per-record logic."""
+        v = ctx.nprocs
+        st = ctx.state
+        codec = get_codec(st["enc"])
+        if ctx.step == 0:
+            items = codec.decode(codec.from_bytes(st["items"]))
+            items.sort()
+            ctx.charge(len(items) * max(1, len(items).bit_length()))
+            ctx.send(0, regular_samples(items, v))
+            st["items"] = codec.to_bytes(items)
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                allsamples = sorted(r for m in ctx.incoming for r in m.payload)
+                ctx.charge(len(allsamples) * max(1, len(allsamples).bit_length()))
+                splitters = regular_samples(allsamples, v - 1)
+                for dest in range(v):
+                    ctx.send(dest, splitters)
+        elif ctx.step == 2:
+            splitters = list(ctx.incoming[0].payload)
+            items = codec.decode(codec.from_bytes(st["items"]))
+            parts = partition_by_splitters(items, splitters)
+            ctx.charge(len(items))
+            for dest, part in enumerate(parts):
+                if dest < v and part:
+                    ctx.send(dest, part)
+            st["items"] = b""
+        else:
+            runs = [list(m.payload) for m in ctx.incoming]
+            result = merge_sorted(runs)
+            ctx.charge(sum(len(r) for r in runs) * max(1, v.bit_length()))
+            st["result"] = codec.to_bytes(result)
+            ctx.vote_halt()
+
+    def _superstep_vector(self, ctx: VPContext) -> None:
+        """The same supersteps over array kernels and zero-copy payloads."""
+        v = ctx.nprocs
+        st = ctx.state
+        codec = get_codec(st["enc"])
+        if ctx.step == 0:
+            arr = np.sort(codec.from_bytes(st["items"]))
+            n_loc = len(arr)
+            ctx.charge(n_loc * max(1, n_loc.bit_length()))
+            ctx.send(0, arr[sample_positions(n_loc, v)])
+            st["items"] = arr.tobytes()
+        elif ctx.step == 1:
+            if ctx.pid == 0:
+                allsamples = np.sort(
+                    np.concatenate([as_i64(m.payload) for m in ctx.incoming])
+                )
+                n_s = len(allsamples)
+                ctx.charge(n_s * max(1, n_s.bit_length()))
+                splitters = allsamples[sample_positions(n_s, v - 1)]
+                for dest in range(v):
+                    ctx.send(dest, splitters)
+        elif ctx.step == 2:
+            splitters = as_i64(ctx.incoming[0].payload)
+            arr = codec.from_bytes(st["items"])
+            bounds = np.searchsorted(arr, splitters, side="left").tolist()
+            ctx.charge(len(arr))
+            prev = 0
+            for dest, hi in enumerate([*bounds, len(arr)]):
+                part = arr[prev:hi]
+                if dest < v and len(part):
+                    ctx.send(dest, part)
+                prev = hi
+            st["items"] = b""
+        else:
+            runs = [as_i64(m.payload) for m in ctx.incoming]
+            total = np.concatenate(runs) if runs else np.empty(0, I64)
+            result = np.sort(total)
+            ctx.charge(sum(len(r) for r in runs) * max(1, v.bit_length()))
+            st["result"] = result.tobytes()
+            ctx.vote_halt()
+
     def output(self, pid: int, state) -> list:
-        return state["result"] if state["result"] is not None else []
+        if self._codec is None:
+            return state["result"] if state["result"] is not None else []
+        if state["result"] is None:
+            return []
+        codec = get_codec(state["enc"])
+        return codec.decode(codec.from_bytes(state["result"]))

@@ -23,6 +23,8 @@ from __future__ import annotations
 import abc
 from typing import Any, Sequence
 
+import numpy as np
+
 from .message import Message
 
 __all__ = ["BSPAlgorithm", "VPContext", "AlgorithmError"]
@@ -87,13 +89,22 @@ class VPContext:
     # -- communication -----------------------------------------------------------
 
     def send(self, dest: int, payload: Sequence[Any]) -> None:
-        """Queue a message of ``len(payload)`` records for delivery next superstep."""
+        """Queue a message of ``len(payload)`` records for delivery next superstep.
+
+        List payloads are copied (the caller may keep mutating its list);
+        ndarray payloads pass through as contiguous 1-D views — the
+        vectorized plane's zero-copy path.  The record count, and hence
+        every communication charge, is ``len(payload)`` either way.
+        """
         if not (0 <= dest < self.nprocs):
             raise AlgorithmError(
                 f"vp {self.pid} sends to invalid destination {dest} "
                 f"(v={self.nprocs})"
             )
-        payload = list(payload)
+        if isinstance(payload, np.ndarray):
+            payload = np.ascontiguousarray(payload).reshape(-1)
+        else:
+            payload = list(payload)
         self._sent_records += len(payload)
         if self._comm_bound is not None and self._sent_records > self._comm_bound:
             raise AlgorithmError(
@@ -157,6 +168,28 @@ class BSPAlgorithm(abc.ABC):
 
     #: safety cap on supersteps (runaway-algorithm guard)
     MAX_SUPERSTEPS = 10_000
+
+    #: record planes this algorithm implements.  Algorithms that port their
+    #: hot supersteps onto a RecordCodec advertise ("object", "vector");
+    #: everything else runs only on the reference object plane.
+    RECORD_MODES: tuple[str, ...] = ("object",)
+
+    #: active record plane; switch with :meth:`set_record_mode`.
+    record_mode: str = "object"
+
+    def set_record_mode(self, mode: str) -> None:
+        """Select the record plane ("object" or "vector") for this run.
+
+        The mode travels with the algorithm object — including through
+        pickling to process-backend workers — and must be golden-invisible:
+        counted costs, ledgers, and outputs are identical across modes.
+        """
+        if mode not in self.RECORD_MODES:
+            raise AlgorithmError(
+                f"{type(self).__name__} does not implement record mode "
+                f"{mode!r} (supported: {self.RECORD_MODES})"
+            )
+        self.record_mode = mode
 
     @abc.abstractmethod
     def initial_state(self, pid: int, nprocs: int) -> Any:

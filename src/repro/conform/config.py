@@ -68,6 +68,11 @@ class ConformConfig:
     workload: str = "sort"
     n: int = 64
     data_seed: int = 0
+    #: Record plane the algorithm runs on (``"object"`` or ``"vector"``);
+    #: repair folds ``"vector"`` back to ``"object"`` for workloads that
+    #: don't support it.  Counted costs and outputs must be identical — the
+    #: runner adds the other mode as a differential plane.
+    records: str = "object"
     # -- execution plane --
     engine: str = "sequential"
     backend: str = "inline"
@@ -101,6 +106,11 @@ class ConformConfig:
 
     def algorithm(self) -> BSPAlgorithm:
         """A fresh algorithm instance over this config's deterministic input."""
+        alg = self._build_algorithm()
+        alg.set_record_mode(self.records)
+        return alg
+
+    def _build_algorithm(self) -> BSPAlgorithm:
         from .. import workloads as wl
 
         n, v, seed = self.n, self.v, self.data_seed
@@ -185,6 +195,8 @@ class ConformConfig:
             plane.append("ckpt")
         if self.storage != "memory":
             plane.append(f"storage={self.storage}")
+        if self.records != "object":
+            plane.append(f"records={self.records}")
         if self.crash:
             plane.append(f"crash@{self.crash_point}")
         fault = "" if self.fault == "none" else f" fault={self.fault}"

@@ -66,14 +66,16 @@ def equivalent_planes(config: ConformConfig) -> list[tuple[str, ConformConfig]]:
     """The configured plane plus every plane that must be byte-equivalent.
 
     The flags flipped here are exactly the ones documented as counted-cost
-    invisible: ``fast_io``, ``context_cache``, the process backend, and the
-    block-storage plane.  Engine choice and ``p`` are *not* equivalent
-    planes (they change the counted schedule), and kill configs run
-    single-plane through the kill-resume protocol instead.
+    invisible: ``fast_io``, ``context_cache``, the process backend, the
+    block-storage plane, and the record plane (``records="vector"`` for
+    algorithms that support it).  Engine choice and ``p`` are *not*
+    equivalent planes (they change the counted schedule), and kill configs
+    run single-plane through the kill-resume protocol instead.
     """
     planes = [("primary", config)]
     reference = config.with_(
-        fast_io=False, context_cache=False, backend="inline", storage="memory"
+        fast_io=False, context_cache=False, backend="inline",
+        storage="memory", records="object",
     )
     if reference != config:
         planes.append(("reference", reference))
@@ -84,6 +86,13 @@ def equivalent_planes(config: ConformConfig) -> list[tuple[str, ConformConfig]]:
         filed = config.with_(storage="file")
         if filed not in (p for _, p in planes):
             planes.append(("file-storage", filed))
+    # The other record mode is a differential plane: counted costs, ledgers,
+    # and outputs must be byte-identical across object and vector.
+    other = "object" if config.records == "vector" else "vector"
+    if other in config.algorithm().RECORD_MODES:
+        vec = config.with_(records=other)
+        if vec not in (p for _, p in planes):
+            planes.append((f"{other}-records", vec))
     return planes
 
 

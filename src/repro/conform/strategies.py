@@ -51,6 +51,9 @@ class StrategyProfile:
     #: Upper bound (exclusive) of the drawn global crash point; points past
     #: the run's last barrier simply let the run finish (``crash_survived``).
     crash_point_max: int = 25
+    #: Fraction of configs drawn on the vectorized record plane (repair
+    #: folds it back to ``"object"`` for workloads without the mode).
+    vector_rate: float = 0.35
 
 
 DEFAULT = StrategyProfile()
@@ -121,6 +124,7 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
         crash=rng.random() < profile.crash_rate,
         crash_point=rng.randrange(0, profile.crash_point_max),
         crash_seed=rng.randrange(1 << 16),
+        records="vector" if rng.random() < profile.vector_rate else "object",
     )
 
 
@@ -157,6 +161,16 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
         n = max(n, v * v)  # CGMSampleSort requires n >= v^2
     n = -(-n // v) * v  # clean shares (and transpose's n = r*c with r = v)
     d.update(workload=wl, n=n)
+
+    # -- record plane: fold "vector" back to "object" when unsupported --
+    records = d.get("records", "object")
+    if records != "object":
+        probe = ConformConfig.from_dict(
+            {**d, "M": 1 << 30, "k": None, "records": "object"}
+        )
+        if records not in probe.algorithm().RECORD_MODES:
+            records = "object"
+    d["records"] = records
 
     # -- memory: hold one block per disk and one virtual context --
     cfg = ConformConfig.from_dict({**d, "M": 1 << 30, "k": None})

@@ -30,12 +30,82 @@ inline engine's recovery semantics.
 
 from __future__ import annotations
 
+import io
 import multiprocessing as mp
 import pickle
+import struct
 from multiprocessing.reduction import ForkingPickler
 from typing import Any, Sequence
 
 __all__ = ["InlineBackend", "ProcessBackend", "make_backend"]
+
+# -- pipe wire format ---------------------------------------------------------
+#
+# Every command/reply is pickled with an out-of-band ``buffer_callback``
+# (protocol 5).  Objects that expose the buffer protocol through pickle 5 —
+# ndarray payloads of the vectorized record plane — are collected as raw
+# buffers instead of being serialized into the object graph, and travel as
+# separate ``send_bytes`` parts: a memcpy through the pipe, no boxing, no
+# bytes-object splice into the pickle stream.  A message with no such
+# buffers is a single part, exactly like the historical
+# ``ForkingPickler.dumps`` stream (same reducer table, protocol pinned to 5
+# since ``buffer_callback`` requires it).  Multipart messages are introduced
+# by a MAGIC header part — pickle streams of protocol >= 2 start with 0x80,
+# so the two forms cannot collide.
+_MAGIC = b"EMB5"
+_NBUFS = struct.Struct("<I")
+
+
+class _OOBPickler(pickle.Pickler):
+    """``ForkingPickler``'s reducer table + an out-of-band buffer callback.
+
+    ``ForkingPickler.__init__`` accepts no ``buffer_callback``, so this
+    subclasses :class:`pickle.Pickler` directly and copies the mp-specific
+    dispatch table (DupFd and friends) that makes fork-safe reduction work.
+    """
+
+    def __init__(self, file, buffer_callback):
+        super().__init__(file, 5, buffer_callback=buffer_callback)
+        self.dispatch_table = ForkingPickler(io.BytesIO()).dispatch_table
+
+
+def _send_msg(conn, obj) -> int:
+    """Send one message (with zero-copy buffer parts); returns bytes sent."""
+    bufs: list[pickle.PickleBuffer] = []
+    fh = io.BytesIO()
+    _OOBPickler(fh, bufs.append).dump(obj)
+    payload = fh.getbuffer()
+    sent = len(payload)
+    if not bufs:
+        conn.send_bytes(payload)
+        return sent
+    header = _MAGIC + _NBUFS.pack(len(bufs))
+    conn.send_bytes(header)
+    conn.send_bytes(payload)
+    sent += len(header)
+    for buf in bufs:
+        raw = buf.raw()
+        conn.send_bytes(raw)
+        sent += len(raw)
+        buf.release()
+    return sent
+
+
+def _recv_msg(conn) -> tuple[Any, int]:
+    """Receive one message; returns ``(object, bytes received)``."""
+    buf = conn.recv_bytes()
+    received = len(buf)
+    if buf[: len(_MAGIC)] != _MAGIC:
+        return pickle.loads(buf), received
+    (nbufs,) = _NBUFS.unpack_from(buf, len(_MAGIC))
+    payload = conn.recv_bytes()
+    received += len(payload)
+    parts = []
+    for _ in range(nbufs):
+        part = conn.recv_bytes()
+        received += len(part)
+        parts.append(part)
+    return pickle.loads(payload, buffers=parts), received
 
 
 class InlineBackend:
@@ -64,26 +134,28 @@ def _worker_main(conn, init_args: tuple) -> None:
 
     try:
         proc = _RealProcessor(*init_args)
-        conn.send(("ok", None))
+        _send_msg(conn, ("ok", None))
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
-        conn.send(("err", exc))
+        _send_msg(conn, ("err", exc))
         conn.close()
         return
     while True:
         try:
-            msg = conn.recv()
+            msg, _ = _recv_msg(conn)
         except (EOFError, OSError):
             break
         if msg is None:
             break
         method, args = msg
         try:
-            conn.send(("ok", getattr(proc, method)(*args)))
+            _send_msg(conn, ("ok", getattr(proc, method)(*args)))
         except BaseException as exc:  # noqa: BLE001 - must reach the parent
             try:
-                conn.send(("err", exc))
+                _send_msg(conn, ("err", exc))
             except Exception:
-                conn.send(("err", RuntimeError(f"unpicklable worker error: {exc!r}")))
+                _send_msg(
+                    conn, ("err", RuntimeError(f"unpicklable worker error: {exc!r}"))
+                )
     conn.close()
 
 
@@ -95,9 +167,10 @@ class ProcessBackend:
     def __init__(self, init_args_list: Sequence[tuple]):
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-        # Exact pipe traffic: the engine side pickles/unpickles explicitly
-        # (byte-compatible with the workers' plain Connection.send/recv), so
-        # every command and reply is counted once, with no double pickling.
+        # Exact pipe traffic: both sides speak the _send_msg/_recv_msg wire
+        # format (single-part pickle, or MAGIC-multipart with raw ndarray
+        # buffers), so every command and reply is counted once — including
+        # the zero-copy buffer parts — with no double pickling.
         self.tx_bytes = 0
         self.rx_bytes = 0
         self._conns = []
@@ -118,9 +191,8 @@ class ProcessBackend:
         results: list = []
         first_err: BaseException | None = None
         for conn in self._conns:
-            buf = conn.recv_bytes()
-            self.rx_bytes += len(buf)
-            status, payload = pickle.loads(buf)
+            (status, payload), nbytes = _recv_msg(conn)
+            self.rx_bytes += nbytes
             if status == "err":
                 results.append(None)
                 if first_err is None:
@@ -137,9 +209,7 @@ class ProcessBackend:
         if args_list is None:
             args_list = [()] * len(self._conns)
         for conn, args in zip(self._conns, args_list):
-            buf = ForkingPickler.dumps((method, args))
-            self.tx_bytes += len(buf)
-            conn.send_bytes(buf)
+            self.tx_bytes += _send_msg(conn, (method, args))
         return self._recv_all()
 
     def close(self) -> None:

@@ -95,11 +95,19 @@ def simulate_routing(
     )
 
     # ---- Sizing and target assignment (metadata only; the bucket tables
-    # record every block's destination, so no I/O happens here) ----
+    # record every block's destination, so no I/O happens here).  One walk
+    # of the tables caches each entry's slot so the target pass below does
+    # not re-derive it. ----
     slot_sizes = [0] * nslots
+    triples: list[list[tuple[int, int, int]]] = []  # (src_disk, track, slot)
     for b in range(buckets.nbuckets):
-        for _disk, _track, dest in buckets.iter_bucket_tracks(b):
-            slot_sizes[slot_of(dest)] += 1
+        ts = []
+        for disk, bucket_entries in enumerate(buckets.table[b]):
+            for track, dest in bucket_entries:
+                s = slot_of(dest)
+                slot_sizes[s] += 1
+                ts.append((disk, track, s))
+        triples.append(ts)
     region = StripedRegion(array, allocator, slot_sizes, name=name)
 
     if buckets.nbuckets > D:
@@ -117,8 +125,7 @@ def simulate_routing(
     for b in range(buckets.nbuckets):
         es = []
         lo, hi = None, None
-        for disk, track, dest in buckets.iter_bucket_tracks(b):
-            s = slot_of(dest)
+        for disk, track, s in triples[b]:
             tgt = cursors[s]
             cursors[s] += 1
             es.append((disk, track, tgt))
@@ -149,14 +156,18 @@ def simulate_routing(
 
     ops_before = array.parallel_ops
     remaining = stats.total_blocks
+    # FIFO consumption via per-queue cursors: list.pop(0) is O(queue) and
+    # turns phase 1 quadratic in the bucket size.
+    heads = [[0] * D for _ in range(len(queues))]
     j = 0
     while remaining > 0:
         reads: list[tuple[int, int]] = []
         writes_meta: list[tuple[int, int]] = []  # (bucket, copy_pos)
         for d in range(min(D, buckets.nbuckets)):
             src = (d + j) % D
-            if d < len(queues) and queues[d][src]:
-                track, copy_pos = queues[d][src].pop(0)
+            if d < len(queues) and heads[d][src] < len(queues[d][src]):
+                track, copy_pos = queues[d][src][heads[d][src]]
+                heads[d][src] += 1
                 reads.append((src, track))
                 writes_meta.append((d, copy_pos))
         j += 1

@@ -62,6 +62,7 @@ def simulate(
     storage: str = "memory",
     storage_dir: str | None = None,
     crash: CrashPlan | None = None,
+    records: str | None = None,
     **engine_kwargs,
 ) -> tuple[list[Any], SimulationReport]:
     """Run ``algorithm`` with ``v`` virtual processors on ``machine``.
@@ -134,6 +135,14 @@ def simulate(
         surfaces as :class:`~repro.emio.faults.HostCrash`.  Recovery is
         :func:`~repro.core.checkpoint.scrub` plus a fresh engine — see
         ``repro crashcheck`` and DESIGN §9.
+    records:
+        Record plane the algorithm's supersteps run on: ``None`` keeps the
+        algorithm's current mode (``"object"`` by default), ``"object"``
+        forces the per-record reference plane, ``"vector"`` selects the
+        numpy kernels of codec-eligible algorithms (see
+        :mod:`repro.emio.codec` and ``DESIGN.md`` §10).  Counted costs,
+        ledgers, and outputs are identical across modes — an algorithm that
+        does not support the requested mode raises ``AlgorithmError``.
     engine_kwargs:
         Passed through to the engine (e.g. ``pad_to_gamma=True`` for the
         sequential engine, ``round_robin_writes=True`` for ablations).
@@ -144,6 +153,8 @@ def simulate(
         ``outputs[i]`` is virtual processor ``i``'s output; ``report`` holds
         counted model costs and per-phase I/O breakdowns.
     """
+    if records is not None:
+        algorithm.set_record_mode(records)
     params = build_params(algorithm, machine, v, k=k, strict=strict)
     requested = engine
     if engine == "auto":

@@ -67,10 +67,18 @@ class Block:
     dummy: bool = False
 
     def nrecords(self) -> int:
-        """Number of records this block carries (bytes payloads count in 8-byte records)."""
-        if isinstance(self.records, (bytes, bytearray)):
-            return -(-len(self.records) // self.BYTES_PER_RECORD)
-        return len(self.records)
+        """Number of records this block carries.
+
+        Byte-flavoured payloads (``bytes``/``bytearray``/``memoryview``)
+        count in 8-byte records; every other payload — lists and ndarray
+        slices alike — counts one record per element (``len``).
+        """
+        records = self.records
+        if isinstance(records, (bytes, bytearray)):
+            return -(-len(records) // self.BYTES_PER_RECORD)
+        if isinstance(records, memoryview):
+            return -(-records.nbytes // self.BYTES_PER_RECORD)
+        return len(records)
 
     def validate(self, B: int) -> None:
         if getattr(self, "_vB", None) == B:
@@ -147,6 +155,23 @@ class Disk:
         prev_present = self.storage.put(track, block)
         if prev_present != (block is not None):
             self._occupied += 1 if not prev_present else -1
+
+    def _store_many(self, items: list[tuple[int, Block | None]]) -> None:
+        """Place several blocks at once, coalescing backend writes.
+
+        Storage planes that implement ``put_many`` (FileStorage/MmapStorage)
+        merge adjacent-slot images into single pwrites; others fall back to
+        per-track puts.  Occupancy bookkeeping is identical either way.
+        """
+        put_many = getattr(self.storage, "put_many", None)
+        if put_many is not None:
+            prev = put_many(items)
+            for (track, block), prev_present in zip(items, prev):
+                if prev_present != (block is not None):
+                    self._occupied += 1 if not prev_present else -1
+        else:
+            for track, block in items:
+                self._store(track, block)
 
     def discard_track(self, track: int) -> None:
         """Drop a track's contents (deallocation; no access is charged)."""

@@ -428,18 +428,25 @@ class DiskArray:
         if self.fast_data_plane:
             if not pending:
                 return 0
-            # Same round-count equivalence as read_batched.
+            # Same round-count equivalence as read_batched.  Stores are
+            # grouped per disk and handed to _store_many, so file-backed
+            # planes coalesce one flush's adjacent-slot images into single
+            # pwrites instead of one syscall per track.
             counts = [0] * self.D
             B = self.B
             disks = self.disks
+            per_disk: list[list[tuple[int, Block | None]]] = [[] for _ in range(self.D)]
             for d, t, blk in pending:
                 counts[d] += 1
-                disk = disks[d]
                 if blk is not None:
                     blk.validate(B)
-                disk._store(t, blk)
+                per_disk[d].append((t, blk))
+                disk = disks[d]
                 if disk._high_water < t < SHADOW_TRACK_BASE:
                     disk._high_water = t
+            for d, items in enumerate(per_disk):
+                if items:
+                    disks[d]._store_many(items)
             for d, c in enumerate(counts):
                 disks[d].writes += c
             self.parallel_ops += max(counts)

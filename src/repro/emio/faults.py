@@ -44,6 +44,8 @@ from __future__ import annotations
 import pickle
 import random
 import zlib
+
+import numpy as np
 from dataclasses import dataclass, field
 
 from .disk import Block, Disk, DiskError
@@ -299,8 +301,12 @@ def block_checksum(block: Block) -> int:
         f"{block.dest},{block.src},{block.msg},{block.seq},{int(block.dummy)}|"
     ).encode()
     payload = block.records
-    if isinstance(payload, (bytes, bytearray)):
+    if isinstance(payload, (bytes, bytearray, memoryview)):
         data = bytes(payload)
+    elif isinstance(payload, np.ndarray):
+        # Canonical array bytes: same checksum whether the payload is a
+        # view, a slice, or a reloaded copy of the same records.
+        data = np.ascontiguousarray(payload).tobytes()
     else:
         data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     return zlib.crc32(header + data)
@@ -309,10 +315,23 @@ def block_checksum(block: Block) -> int:
 def _corrupted_copy(block: Block) -> Block:
     """A copy of ``block`` whose payload differs (a flipped medium bit)."""
     payload = block.records
+    if isinstance(payload, memoryview):
+        payload = bytes(payload)
     if isinstance(payload, (bytes, bytearray)):
         data = bytes(payload)
         bad = (bytes([data[0] ^ 0xFF]) + data[1:]) if data else b"\xff"
-    elif payload:
+    elif isinstance(payload, np.ndarray):
+        if len(payload):
+            # Flip every bit of the first record: always a different value,
+            # for any dtype, and detected by the canonical-bytes checksum.
+            bad = payload.copy()
+            first = bytes(b ^ 0xFF for b in np.ascontiguousarray(bad[:1]).tobytes())
+            bad[0] = np.frombuffer(first, dtype=payload.dtype)[0]
+        else:
+            bad = np.frombuffer(
+                b"\xff" * payload.dtype.itemsize, dtype=payload.dtype
+            )
+    elif len(payload):
         bad = ["\x00CORRUPT"] + list(payload[1:])
     else:
         bad = ["\x00CORRUPT"]

@@ -28,6 +28,8 @@ from __future__ import annotations
 import pickle
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from .disk import Block, DiskError
 from .diskarray import DiskArray
 
@@ -56,10 +58,12 @@ def pack_records(records: Sequence[Any], B: int, dest: int = -1) -> list[Block]:
     Every block inherits the destination address ``dest`` and carries a
     sequence number so the original order can be reassembled.
     """
-    # Slicing a list already yields a fresh list; only non-list sequences
-    # need one materializing copy up front (avoids the old per-block double
-    # copy via list(records[i:i+B])).
-    if not isinstance(records, list):
+    # ndarray payloads block into zero-copy views: each Block holds a slice
+    # of the same buffer, so packing n records costs O(nblocks) regardless
+    # of n.  Slicing a list already yields a fresh list; only other
+    # sequences need one materializing copy up front (avoids the old
+    # per-block double copy via list(records[i:i+B])).
+    if not isinstance(records, (list, np.ndarray)):
         records = list(records)
     return [
         Block(records=records[i : i + B], dest=dest, seq=seq)
@@ -67,10 +71,19 @@ def pack_records(records: Sequence[Any], B: int, dest: int = -1) -> list[Block]:
     ]
 
 
-def unpack_records(blocks: Iterable[Block | None]) -> list[Any]:
-    """Concatenate block payloads back into a record list (in ``seq`` order)."""
+def unpack_records(blocks: Iterable[Block | None]) -> list[Any] | np.ndarray:
+    """Concatenate block payloads back into a record run (in ``seq`` order).
+
+    All-ndarray payloads reassemble into one contiguous array (a single
+    concatenate, or a zero-copy passthrough for a lone block); any other
+    mix falls back to a Python list.
+    """
     present = [b for b in blocks if b is not None and not b.dummy]
     present.sort(key=lambda b: b.seq)
+    if present and all(isinstance(b.records, np.ndarray) for b in present):
+        if len(present) == 1:
+            return present[0].records
+        return np.concatenate([b.records for b in present])
     records: list[Any] = []
     for b in present:
         records.extend(b.records)
@@ -91,8 +104,14 @@ def check_context_bound(data: bytes, max_records: int | None) -> int:
     return nrec
 
 
-def bytes_to_blocks(data: bytes, B: int) -> list[Block]:
-    """Split serialized bytes into blocks of ``B`` records (8 bytes each)."""
+def bytes_to_blocks(data: bytes | memoryview, B: int) -> list[Block]:
+    """Split serialized bytes into blocks of ``B`` records (8 bytes each).
+
+    Slicing preserves the input flavour: ``bytes`` input yields ``bytes``
+    payloads (the pickled-context path, unchanged), while a ``memoryview``
+    input yields zero-copy ``memoryview`` slices over the same buffer —
+    the opt-in path for callers that hold a large canonical byte image.
+    """
     chunk = B * Block.BYTES_PER_RECORD
     return [
         Block(records=data[i : i + chunk], seq=seq)

@@ -135,6 +135,91 @@ def _open_frame(raw: bytes, path: str, base: int, length: int, gen: int) -> byte
     )
 
 
+#: First byte of a vectorized (raw fixed-width) slot image.  Pickle streams
+#: of protocol >= 2 always start with 0x80, so the two image flavours are
+#: distinguished by their first byte alone.
+_VEC_TAG = b"V"
+_VEC_HLEN = struct.Struct("<I")
+
+
+def _descr_to_dtype(descr):
+    """Rebuild a dtype from its JSON-round-tripped ``descr`` form."""
+    import numpy as np
+
+    if isinstance(descr, str):
+        return np.dtype(descr)
+    fields = []
+    for f in descr:
+        if len(f) == 3:
+            fields.append((f[0], f[1], tuple(f[2])))
+        else:
+            fields.append((f[0], f[1]))
+    return np.dtype(fields)
+
+
+def _encode_block(block: "Block") -> bytes:
+    """Serialize one block into a slot image.
+
+    ndarray payloads become a tagged raw image — a one-byte tag, a small
+    JSON header (dtype descr, record count, routing metadata) and the
+    array's little-endian bytes — so the vectorized plane's storage path is
+    a memcpy, not a pickle of boxed objects.  Everything else (lists,
+    pickled-context bytes) keeps the historical pickle image byte-for-byte;
+    memoryview payloads are materialized first since pickle refuses them.
+    """
+    import numpy as np
+
+    records = block.records
+    if isinstance(records, np.ndarray) and records.ndim == 1:
+        arr = np.ascontiguousarray(records)
+        if arr.dtype.byteorder == ">":  # canonical images are little-endian
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        descr = arr.dtype.descr if arr.dtype.names else arr.dtype.str
+        header = json.dumps(
+            {
+                "d": descr,
+                "n": int(arr.shape[0]),
+                "b": [block.dest, block.src, block.msg, block.seq, int(block.dummy)],
+            },
+            separators=(",", ":"),
+        ).encode("ascii")
+        return _VEC_TAG + _VEC_HLEN.pack(len(header)) + header + arr.tobytes()
+    if isinstance(records, memoryview):
+        from .disk import Block as _Block
+
+        block = _Block(
+            records=bytes(records),
+            dest=block.dest,
+            src=block.src,
+            msg=block.msg,
+            seq=block.seq,
+            dummy=block.dummy,
+        )
+    return pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_block(payload: bytes) -> "Block":
+    """Inverse of :func:`_encode_block` (dispatch on the first byte)."""
+    if payload[:1] == _VEC_TAG:
+        import numpy as np
+
+        from .disk import Block as _Block
+
+        (hlen,) = _VEC_HLEN.unpack_from(payload, 1)
+        head = json.loads(payload[1 + _VEC_HLEN.size : 1 + _VEC_HLEN.size + hlen])
+        arr = np.frombuffer(
+            payload,
+            dtype=_descr_to_dtype(head["d"]),
+            count=head["n"],
+            offset=1 + _VEC_HLEN.size + hlen,
+        )
+        dest, src, msg, seq, dummy = head["b"]
+        return _Block(
+            records=arr, dest=dest, src=src, msg=msg, seq=seq, dummy=bool(dummy)
+        )
+    return pickle.loads(payload)
+
+
 def _fsync_dir(path: str) -> None:
     """fsync a directory so freshly created entries survive a crash."""
     try:
@@ -384,7 +469,7 @@ class FileStorage:
         payload = _open_frame(raw, self.path, base, length, gen)
         if count:
             self.read_bytes += len(raw)
-        return pickle.loads(payload)
+        return _decode_block(payload)
 
     def get(self, track: int) -> "Block | None":
         return self._load(track, count=True)
@@ -392,15 +477,24 @@ class FileStorage:
     def peek(self, track: int) -> "Block | None":
         return self._load(track, count=False)
 
-    def put(self, track: int, block: "Block | None") -> bool:
+    def _place(self, track: int, block: "Block | None") -> tuple[bool, tuple | None]:
+        """Metadata half of a put: allocate/release and update the map.
+
+        Returns ``(prev_present, pending_write)`` where ``pending_write``
+        is ``(base slot, run length, sealed frame)`` — or ``None`` when the
+        put was a deletion.  The caller performs the actual write, which is
+        what lets :meth:`put_many` coalesce adjacent runs into one pwrite
+        (allocation never depends on written bytes, so deferring the data
+        movement leaves every map/free-list transition identical).
+        """
         prev = self._map.get(track)
         if block is None:
             if prev is None:
-                return False
+                return False, None
             del self._map[track]
             self._release(prev[0], prev[1])
-            return True
-        payload = pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL)
+            return True, None
+        payload = _encode_block(block)
         need = -(-(FRAME_BYTES + len(payload)) // self.slot_bytes)
         if prev is not None and prev[1] == need and (prev[0], prev[1]) not in self._pinned:
             base = prev[0]  # overwrite in place
@@ -409,10 +503,55 @@ class FileStorage:
                 self._release(prev[0], prev[1])
             base = self._alloc(need)
         record = _seal_frame(payload, self._gen)
-        self._write_at(base * self.slot_bytes, record)
         self.write_bytes += len(record)
         self._map[track] = (base, need, len(payload), self._gen)
-        return prev is not None
+        return prev is not None, (base, need, record)
+
+    def put(self, track: int, block: "Block | None") -> bool:
+        prev_present, pending = self._place(track, block)
+        if pending is not None:
+            base, _need, record = pending
+            self._write_at(base * self.slot_bytes, record)
+        return prev_present
+
+    def put_many(self, items: list[tuple[int, "Block | None"]]) -> list[bool]:
+        """Store several tracks, coalescing adjacent slot runs into one pwrite.
+
+        Map and free-list transitions are exactly those of in-order ``put``
+        calls; only the data movement is batched.  Gaps between merged
+        frames (intra-run slack past a frame's end) are zero-filled — those
+        bytes belong to the runs being written, so no live or pinned extent
+        is touched.  Duplicate tracks in one batch fall back to plain puts
+        (a later put may free and reuse the earlier one's slots).
+        """
+        tracks = [t for t, _ in items]
+        if len(set(tracks)) != len(tracks):
+            return [self.put(t, b) for t, b in items]
+        prev_flags: list[bool] = []
+        writes: list[tuple[int, int, bytes]] = []
+        for track, block in items:
+            prev_present, pending = self._place(track, block)
+            prev_flags.append(prev_present)
+            if pending is not None:
+                writes.append(pending)
+        writes.sort(key=lambda w: w[0])
+        i = 0
+        while i < len(writes):
+            start, need, record = writes[i]
+            end_slot = start + need
+            buf = bytearray(record)
+            j = i + 1
+            while j < len(writes) and writes[j][0] == end_slot:
+                nbase, nneed, nrecord = writes[j]
+                pad = (nbase - start) * self.slot_bytes - len(buf)
+                if pad:
+                    buf += b"\x00" * pad
+                buf += nrecord
+                end_slot = nbase + nneed
+                j += 1
+            self._write_at(start * self.slot_bytes, bytes(buf))
+            i = j
+        return prev_flags
 
     def discard(self, track: int) -> bool:
         ext = self._map.pop(track, None)
@@ -582,14 +721,32 @@ def verify_extents(path: str | os.PathLike, snap: dict) -> int:
     """
     path = os.fspath(path)
     slot_bytes = int(snap["slot_bytes"])
+    extents = sorted(
+        tuple(int(x) for x in ext) for ext in snap["map"].values()
+    )
     checked = 0
     fd = os.open(path, os.O_RDONLY)
     try:
-        for _track, ext in snap["map"].items():
-            base, _nslots, length, gen = (int(x) for x in ext)
-            raw = os.pread(fd, FRAME_BYTES + length, base * slot_bytes)
-            _open_frame(raw, path, base, length, gen)
-            checked += 1
+        # Coalesce adjacent slot runs into single preads: a snapshot taken
+        # after bulk writes maps mostly-consecutive runs, so verifying a
+        # checkpoint costs a few large sequential reads instead of one
+        # syscall per track.
+        i = 0
+        while i < len(extents):
+            start = extents[i][0]
+            j = i
+            end_slot = extents[i][0] + extents[i][1]
+            while j + 1 < len(extents) and extents[j + 1][0] == end_slot:
+                j += 1
+                end_slot = extents[j][0] + extents[j][1]
+            last_base, _n, last_len, _g = extents[j]
+            span = (last_base - start) * slot_bytes + FRAME_BYTES + last_len
+            raw = os.pread(fd, span, start * slot_bytes)
+            for base, _nslots, length, gen in extents[i : j + 1]:
+                off = (base - start) * slot_bytes
+                _open_frame(raw[off : off + FRAME_BYTES + length], path, base, length, gen)
+                checked += 1
+            i = j + 1
     finally:
         os.close(fd)
     return checked

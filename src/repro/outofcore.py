@@ -29,8 +29,12 @@ from __future__ import annotations
 import random
 from typing import Any
 
+import numpy as np
+
 from .algorithms.sorting import CGMSampleSort
+from .algorithms._vec import I64
 from .bsp.collectives import share_bounds
+from .emio.codec import get_codec
 
 __all__ = [
     "OutOfCoreSort",
@@ -96,6 +100,11 @@ class OutOfCoreSort(CGMSampleSort):
         self.n = n
         self.seed = seed
         self.reclen = reclen
+        # Int streams draw from randrange(1 << 30): exactly int64, so the
+        # codec planes apply; byte-string records keep the legacy path.
+        self._codec = "i64" if reclen is None else None
+        if self._codec is not None:
+            self.RECORD_MODES = ("object", "vector")
 
     def context_size(self) -> int:
         if self.reclen is None:
@@ -114,10 +123,23 @@ class OutOfCoreSort(CGMSampleSort):
     def initial_state(self, pid: int, nprocs: int):
         lo, hi_b = share_bounds(self.n, nprocs, pid)
         items = list(share_stream(self.seed, pid, hi_b - lo, self.reclen))
-        return {"items": items, "result": None}
+        if self._codec is None:
+            return {"items": items, "result": None}
+        return {
+            "enc": self._codec,
+            "items": np.asarray(items, I64).tobytes(),
+            "result": None,
+        }
 
     def output(self, pid: int, state) -> dict[str, Any]:
-        run = state["result"] if state["result"] is not None else []
+        if self._codec is not None and self.record_mode == "vector":
+            return self._output_vector(state)
+        if self._codec is None:
+            run = state["result"] if state["result"] is not None else []
+        else:
+            codec = get_codec(state["enc"])
+            raw = state["result"]
+            run = codec.decode(codec.from_bytes(raw)) if raw is not None else []
         keys = [_key(x) for x in run]
         digest = {
             "count": len(run),
@@ -126,6 +148,36 @@ class OutOfCoreSort(CGMSampleSort):
             "hi": run[-1] if run else None,
             "sum": sum(keys),
             "sq": sum(k * k for k in keys),
+        }
+        state["result"] = None  # drop the run before contexts are collected
+        return digest
+
+    def _output_vector(self, state) -> dict[str, Any]:
+        """The digest over array kernels — same Python values, no decode.
+
+        Keys are < 2**30 (``share_stream`` draws) so the plain sum fits
+        int64 even at n=10M; the sum of squares does not, and is computed
+        via the split ``x**2 = a**2*2**30 + a*b*2**16 + b**2`` with
+        ``a = x >> 15``, ``b = x & 0x7fff`` — each partial sum stays below
+        2**54 and the combination happens in Python ints.
+        """
+        codec = get_codec(state["enc"])
+        raw = state["result"]
+        arr = codec.from_bytes(raw) if raw is not None else np.empty(0, I64)
+        a = arr >> 15
+        b = arr & 0x7FFF
+        sq = (
+            (int(np.sum(a * a)) << 30)
+            + (int(np.sum(a * b)) << 16)
+            + int(np.sum(b * b))
+        )
+        digest = {
+            "count": len(arr),
+            "sorted": bool(np.all(arr[:-1] <= arr[1:])),
+            "lo": int(arr[0]) if len(arr) else None,
+            "hi": int(arr[-1]) if len(arr) else None,
+            "sum": int(np.sum(arr)),
+            "sq": sq,
         }
         state["result"] = None  # drop the run before contexts are collected
         return digest

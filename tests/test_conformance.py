@@ -102,23 +102,47 @@ class TestRepair:
 class TestEquivalentPlanes:
     def test_plain_config_gets_fastpath_and_storage_planes(self):
         planes = dict(equivalent_planes(small_config()))
-        assert set(planes) == {"primary", "fastpath", "file-storage"}
+        assert set(planes) == {
+            "primary", "fastpath", "file-storage", "vector-records"
+        }
         assert planes["fastpath"].fast_io and planes["fastpath"].context_cache
         assert planes["file-storage"].storage == "file"
+        assert planes["vector-records"].records == "vector"
 
     def test_fast_config_gets_a_reference_plane(self):
         planes = dict(
             equivalent_planes(small_config(fast_io=True, context_cache=True))
         )
-        assert set(planes) == {"primary", "reference", "file-storage"}
+        assert set(planes) == {
+            "primary", "reference", "file-storage", "vector-records"
+        }
         assert not planes["reference"].fast_io
 
-    def test_process_backend_yields_four_planes(self):
+    def test_process_backend_yields_five_planes(self):
         cfg = small_config(p=2, v=4, engine="parallel", backend="process",
                            fast_io=True)
         planes = dict(equivalent_planes(cfg))
-        assert set(planes) == {"primary", "reference", "fastpath", "file-storage"}
+        assert set(planes) == {
+            "primary", "reference", "fastpath", "file-storage", "vector-records"
+        }
         assert planes["reference"].backend == "inline"
+
+    def test_vector_config_gets_an_object_records_plane(self):
+        # A plain vector config folds object-records into the reference
+        # plane (they would be identical); a fast vector config keeps both.
+        planes = dict(equivalent_planes(small_config(records="vector")))
+        assert planes["primary"].records == "vector"
+        assert planes["reference"].records == "object"
+        assert "object-records" not in planes
+        planes = dict(equivalent_planes(
+            small_config(records="vector", fast_io=True, context_cache=True)
+        ))
+        assert planes["object-records"].records == "object"
+        assert planes["object-records"].fast_io
+
+    def test_no_vector_plane_for_ineligible_workloads(self):
+        planes = dict(equivalent_planes(small_config(workload="prefix")))
+        assert "vector-records" not in planes
 
     def test_storage_config_gets_a_memory_reference(self):
         planes = dict(equivalent_planes(small_config(storage="mmap")))
@@ -146,8 +170,9 @@ class TestOracles:
         assert result.checks["output_vs_reference"] >= 2  # both planes
         assert result.checks["lemma2_balance"] > 0
         assert result.checks["theorem1_io"] > 0
-        # One equivalence check per non-primary plane: fastpath + file-storage.
-        assert result.checks["plane_equivalence"] == 2
+        # One equivalence check per non-primary plane: fastpath +
+        # file-storage + vector-records.
+        assert result.checks["plane_equivalence"] == 3
 
     def test_kill_case_exercises_resume_or_skip(self):
         cfg = small_config(fault="kill", checkpoint=True, dead_after=10)
