@@ -28,11 +28,19 @@ a soft warning.  Results land in ``BENCH_PERF.json``.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--out PATH]
-        [--check-regression BASELINE]
+        [--check-regression BASELINE] [--history PATH | --no-history]
 
 ``--check-regression`` compares wall times against a committed baseline JSON
 and prints warnings for >2x slowdowns; it exits 0 regardless (CI treats the
 job as a soft signal; counted-cost mismatches still exit 1).
+
+Every run also appends one schema-versioned, host-fingerprinted entry to
+``BENCH_HISTORY.jsonl`` and compares it against its same-host trajectory
+(:mod:`repro.obs.trend`): a slow run prints a soft ``::warning::``, while
+counted ``io_ops`` drifting from history is a hard violation (exit 1) — the
+model charges the same I/O on every host.  Quick and full modes are tracked
+as separate config keys so their differing problem sizes never cross-trip
+the drift check.  ``repro perf trend`` reads the same file.
 """
 
 from __future__ import annotations
@@ -435,6 +443,37 @@ def check_regression(results: dict[str, Any], baseline_path: str) -> None:
         print("[regression] within 2x of baseline on every config")
 
 
+def update_history(
+    results: dict[str, Any], path: str, violations: list[str]
+) -> None:
+    """Append this run to the bench history and judge it against the trend."""
+    from repro.obs.trend import append_history, compare_trend, load_history
+
+    mode = "quick" if results.get("quick") else "full"
+    flat = {
+        f"{mode}:{wname}/{cname}": {
+            "wall_s": cfg["wall_s"],
+            "io_ops": cfg["io_ops"],
+        }
+        for wname, wl in results["workloads"].items()
+        for cname, cfg in wl["configs"].items()
+    }
+    append_history(path, flat, t=time.time(), meta={"mode": mode})
+    verdict = compare_trend(load_history(path))
+    print(f"\n[history] appended to {path}")
+    print(verdict.render())
+    if verdict.status == "regressed":
+        # Soft: wall-clock is hostage to host load; a single slow run warns.
+        print("::warning::bench trajectory regressed (wall-clock, soft)")
+    elif verdict.status == "counted_drift":
+        for reg in verdict.regressions:
+            if reg.get("kind") == "counted":
+                violations.append(
+                    f"history {reg['key']}: io_ops={reg['latest']} drifted "
+                    f"from trajectory {reg['seen']}"
+                )
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true", help="small inputs (CI smoke)")
@@ -444,6 +483,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BASELINE",
         default=None,
         help="compare wall times against a baseline BENCH_PERF.json (soft)",
+    )
+    ap.add_argument(
+        "--history",
+        metavar="PATH",
+        default=os.path.join(os.path.dirname(__file__), "BENCH_HISTORY.jsonl"),
+        help="bench-trajectory history file (JSONL, appended every run)",
+    )
+    ap.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append to or judge against the history file",
     )
     args = ap.parse_args(argv)
 
@@ -457,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{results['headline']['speedup']}x"
     )
 
+    if not args.no_history:
+        update_history(results, args.history, violations)
     if args.check_regression:
         check_regression(results, args.check_regression)
     if violations:

@@ -28,14 +28,30 @@ def _observer(args):
     Created once per CLI invocation (cached on ``args``) so a multi-run
     subcommand like ``machines`` merges every run into one timeline.
     """
-    if not (args.trace_out or args.jsonl_out or args.metrics):
+    profile = getattr(args, "profile", False) is True or bool(
+        getattr(args, "profile_out", None)
+    )
+    if not (args.trace_out or args.jsonl_out or args.metrics or profile):
         return None
     obs = getattr(args, "_collector", None)
     if obs is None:
         from .obs import Collector
 
-        obs = args._collector = Collector()
+        obs = args._collector = Collector(profile=profile)
     return obs
+
+
+def _events(args):
+    """The run's RunEventLog, or None without ``--events`` (cached on args)."""
+    path = getattr(args, "events", None)
+    if not path:
+        return None
+    log = getattr(args, "_event_log", None)
+    if log is None:
+        from .obs import RunEventLog
+
+        log = args._event_log = RunEventLog(path)
+    return log
 
 
 def _export_obs(args) -> None:
@@ -62,6 +78,30 @@ def _export_obs(args) -> None:
                       f"min={data['min']} max={data['max']}")
             else:
                 print(f"  {name:<28} {data['value']:g}")
+    if obs.profile.enabled:
+        import json
+
+        from .obs import build_report
+
+        meta = {
+            k: v
+            for k, v in (
+                ("command", getattr(args, "command", None)),
+                ("n", getattr(args, "n", None)),
+                ("p", getattr(args, "procs", None)),
+                ("backend", getattr(args, "backend", None)),
+                ("storage", getattr(args, "storage", None)),
+            )
+            if v is not None
+        }
+        report = build_report(obs, meta=meta)
+        print(report.render())
+        out = getattr(args, "profile_out", None)
+        if out:
+            with open(out, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+            print(f"wrote profile report to {out}")
 
 
 def _machine(args, mu: int) -> MachineParams:
@@ -82,6 +122,7 @@ def _run(args, algorithm, machine, **kw):
         algorithm, machine, seed=args.seed,
         backend=args.backend if machine.p > 1 else "inline",
         observer=_observer(args),
+        events=_events(args),
         storage=getattr(args, "storage", "memory"),
         storage_dir=getattr(args, "storage_dir", None),
         **kw,
@@ -332,6 +373,61 @@ def cmd_crashcheck(args) -> int:
     return 1
 
 
+#: Workloads ``repro perf report`` can run instrumented.
+_PERF_WORKLOADS = {}  # populated after the cmd_* definitions below
+
+
+def cmd_perf_report(args) -> int:
+    """Print a wall-clock attribution breakdown (see DESIGN.md §11).
+
+    Either replays a saved ``--profile-out`` JSON (``--load``) or runs one
+    instrumented workload; ``--trace-out`` additionally emits the
+    category-colored Perfetto trace of the same run.
+    """
+    if args.load:
+        import json
+
+        from .obs import ProfileReport
+
+        with open(args.load) as fh:
+            report = ProfileReport.from_dict(json.load(fh))
+        print(report.render())
+        return 0
+    args.profile = True  # the attribution table is the whole point
+    return _PERF_WORKLOADS[args.workload](args)
+
+
+def cmd_perf_trend(args) -> int:
+    """Compare the latest bench entry against its trajectory."""
+    from .obs.trend import compare_trend, load_history
+
+    history = load_history(args.history)
+    verdict = compare_trend(
+        history, window=args.window, threshold=args.threshold
+    )
+    print(verdict.render())
+    if verdict.status == "counted_drift":
+        return 1  # hard: counted costs must never drift
+    if verdict.status == "regressed":
+        return 1 if args.strict else 0  # soft unless --strict
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Tail a ``--events`` JSONL file, one human line per event."""
+    from .obs import tail_events
+    from .obs.live import format_event
+
+    try:
+        for ev in tail_events(
+            args.file, follow=args.follow, timeout=args.timeout
+        ):
+            print(format_event(ev), flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
 def cmd_machines(args) -> int:
     from .algorithms import CGMPermutation
 
@@ -351,6 +447,15 @@ def cmd_machines(args) -> int:
         print(f"{name:<30}{rep.io_ops:>8}{rep.ledger.total_comm_packets:>9}"
               f"{rep.ledger.total_time():>12.0f}")
     return 0
+
+
+_PERF_WORKLOADS.update(
+    sort=cmd_sort,
+    permute=cmd_permute,
+    transpose=cmd_transpose,
+    listrank=cmd_listrank,
+    cc=cmd_cc,
+)
 
 
 def main(argv=None) -> int:
@@ -388,6 +493,16 @@ def main(argv=None) -> int:
         p.add_argument("--storage-dir", metavar="DIR", default=None,
                        help="directory for track files on non-memory planes "
                             "(default: a private tempdir removed after the run)")
+        p.add_argument("--profile", action="store_true",
+                       help="collect the wall-clock attribution profile and "
+                            "print the breakdown table after the run "
+                            "(counted costs and outputs are unchanged)")
+        p.add_argument("--profile-out", metavar="FILE", default=None,
+                       help="save the profile report as JSON (implies the "
+                            "profiler; replay with 'repro perf report --load')")
+        p.add_argument("--events", metavar="FILE", default=None,
+                       help="stream run/superstep lifecycle events to FILE as "
+                            "line-flushed JSONL ('repro watch FILE' tails it)")
 
     for name, fn, extra in (
         ("sort", cmd_sort, ["--compare-baselines"]),
@@ -449,11 +564,76 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true",
                    help="print every crash point as it is explored")
 
+    p = sub.add_parser(
+        "perf",
+        help="wall-clock attribution reports and bench-trajectory trends",
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    p = perf_sub.add_parser(
+        "report",
+        help="run one instrumented workload and print where the wall-clock "
+             "went (or --load a saved report); --trace-out adds the "
+             "category-colored Perfetto trace",
+    )
+    common(p)
+    p.add_argument("--workload", choices=sorted(_PERF_WORKLOADS),
+                   default="sort",
+                   help="workload to run instrumented (default: sort)")
+    p.add_argument("--load", metavar="REPORT.json", default=None,
+                   help="print a saved --profile-out report instead of running")
+    p.set_defaults(func=cmd_perf_report, compare_baselines=False,
+                   compare_pram=False, rows=None)
+
+    p = perf_sub.add_parser(
+        "trend",
+        help="compare the latest BENCH_HISTORY.jsonl entry against its "
+             "same-host trajectory (soft wall-clock verdict, hard counted "
+             "drift)",
+    )
+    p.add_argument("--history", metavar="FILE",
+                   default="benchmarks/BENCH_HISTORY.jsonl",
+                   help="history file written by benchmarks/bench_perf.py")
+    p.add_argument("--window", type=int, default=8,
+                   help="prior same-host entries in the trajectory median")
+    p.add_argument("--threshold", type=float, default=1.5,
+                   help="wall-clock ratio above the median that regresses")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on a soft wall-clock regression too "
+                        "(counted drift always fails)")
+    p.set_defaults(func=cmd_perf_trend, trace_out=None, jsonl_out=None,
+                   metrics=False)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a --events JSONL file, one human line per event",
+    )
+    p.add_argument("file", help="event log written by --events")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="keep polling for new events until run_finished")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="with --follow, stop after this long without growth")
+    p.set_defaults(func=cmd_watch, trace_out=None, jsonl_out=None,
+                   metrics=False)
+
     args = parser.parse_args(argv)
     rc = args.func(args)
     _export_obs(args)
+    log = getattr(args, "_event_log", None)
+    if log is not None:
+        log.close()
+        print(f"wrote run events to {log.path}")
     return rc
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `repro watch ... |
+        # head`): exit quietly, redirecting stdout so the interpreter's
+        # shutdown flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -37,6 +37,8 @@ import struct
 from multiprocessing.reduction import ForkingPickler
 from typing import Any, Sequence
 
+from ..obs.profile import NULL_PROFILER
+
 __all__ = ["InlineBackend", "ProcessBackend", "make_backend"]
 
 # -- pipe wire format ---------------------------------------------------------
@@ -115,6 +117,9 @@ class InlineBackend:
     #: Pipe traffic counters (always zero inline; see ProcessBackend).
     tx_bytes = 0
     rx_bytes = 0
+    #: Wall-clock attribution sink (inline calls run inside the engine's own
+    #: categorized spans, so the backend itself never bills anything).
+    profiler = NULL_PROFILER
 
     def __init__(self, procs: Sequence[Any]):
         self.procs = list(procs)
@@ -163,6 +168,10 @@ class ProcessBackend:
     """One worker process per real processor, driven over duplex pipes."""
 
     name = "process"
+    #: Engine-side wall-clock attribution: command tx framing bills ``ipc``,
+    #: the receive-all round bills ``barrier_wait`` (the engine is idle until
+    #: the slowest worker answers — that wait IS the superstep barrier).
+    profiler = NULL_PROFILER
 
     def __init__(self, init_args_list: Sequence[tuple]):
         methods = mp.get_all_start_methods()
@@ -190,15 +199,20 @@ class ProcessBackend:
     def _recv_all(self) -> list:
         results: list = []
         first_err: BaseException | None = None
-        for conn in self._conns:
-            (status, payload), nbytes = _recv_msg(conn)
-            self.rx_bytes += nbytes
-            if status == "err":
-                results.append(None)
-                if first_err is None:
-                    first_err = payload
-            else:
-                results.append(payload)
+        prof = self.profiler
+        prof.push("barrier_wait")
+        try:
+            for conn in self._conns:
+                (status, payload), nbytes = _recv_msg(conn)
+                self.rx_bytes += nbytes
+                if status == "err":
+                    results.append(None)
+                    if first_err is None:
+                        first_err = payload
+                else:
+                    results.append(payload)
+        finally:
+            prof.pop()
         if first_err is not None:
             # All workers have answered the round (they are idle and
             # consistent at the barrier), so recovery can roll them back.
@@ -208,8 +222,13 @@ class ProcessBackend:
     def call_all(self, method: str, args_list: Sequence[tuple] | None = None) -> list:
         if args_list is None:
             args_list = [()] * len(self._conns)
-        for conn, args in zip(self._conns, args_list):
-            self.tx_bytes += _send_msg(conn, (method, args))
+        prof = self.profiler
+        prof.push("ipc")
+        try:
+            for conn, args in zip(self._conns, args_list):
+                self.tx_bytes += _send_msg(conn, (method, args))
+        finally:
+            prof.pop()
         return self._recv_all()
 
     def close(self) -> None:

@@ -108,6 +108,30 @@ class ContextStore:
         """Drop all cached context bytes (next loads hit the disk image)."""
         self._cached = [None] * self.nslots
 
+    def prime_cache(self, states: Sequence[Any]) -> None:
+        """Re-seed the cache from checkpointed states (attach-time recovery).
+
+        On the fast data plane, cached saves are charge-only: the bytes live
+        in ``_cached`` and the disk image of this region holds nothing.  A
+        fresh process that re-attaches the storage plane therefore cannot
+        read contexts back from disk — the checkpoint's portable
+        ``proc_states`` are the only copy, and they must be re-pickled into
+        the cache before the first load.  Pure host-side bookkeeping: no
+        counted I/O, and the recomputed block counts equal the attach
+        reference's ``ctx_used`` (same pickle protocol as ``save_group``).
+        """
+        if not self.cache:
+            return
+        if len(states) != self.nslots:
+            raise DiskError(
+                f"priming {len(states)} contexts into {self.nslots} slots"
+            )
+        chunk = self.B * 8
+        for slot, state in enumerate(states):
+            data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            self._cached[slot] = data
+            self._used[slot] = -(-max(len(data), 1) // chunk)
+
     def _slot_addrs(self, slots: Sequence[int], counts: Sequence[int]):
         """(disk, track) addresses of the used prefixes of ``slots``.
 
@@ -129,7 +153,10 @@ class ContextStore:
         if not self.cache:
             ops: list = []
             for slot, state in zip(slots, states):
-                blocks = pickle_to_blocks(state, self.B, max_records=self.mu)
+                blocks = pickle_to_blocks(
+                    state, self.B, max_records=self.mu,
+                    profiler=self.array.profiler,
+                )
                 if len(blocks) > self.blocks_per_context:
                     raise DiskError(  # pragma: no cover - pickle_to_blocks guards
                         f"context of slot {slot} exceeds its preallocated area"
@@ -144,8 +171,13 @@ class ContextStore:
         chunk = self.B * 8  # bytes per block (Block.BYTES_PER_RECORD)
         counts: list[int] = []
         blobs: list[bytes] = []
+        prof = self.array.profiler
         for slot, state in zip(slots, states):
-            data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            prof.push("serialize")
+            try:
+                data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            finally:
+                prof.pop()
             check_context_bound(data, self.mu)
             blobs.append(data)
             counts.append(-(-max(len(data), 1) // chunk))
@@ -181,7 +213,12 @@ class ContextStore:
                 self.array.charge_batched("R", addrs)
             else:
                 self.array.read_batched(addrs)  # physical read; data == cache
-            return [pickle.loads(self._cached[s]) for s in slots]
+            prof = self.array.profiler
+            prof.push("serialize")
+            try:
+                return [pickle.loads(self._cached[s]) for s in slots]
+            finally:
+                prof.pop()
         self.cache_misses += len(slots)
         addrs = []
         counts = []
@@ -191,7 +228,9 @@ class ContextStore:
         flat = self.array.read_batched(addrs)
         out, pos = [], 0
         for c in counts:
-            out.append(blocks_to_object(flat[pos : pos + c]))
+            out.append(
+                blocks_to_object(flat[pos : pos + c], profiler=self.array.profiler)
+            )
             pos += c
         return out
 

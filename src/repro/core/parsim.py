@@ -68,6 +68,7 @@ from ..emio.faults import FATAL_IO_FAULTS, CrashPlan, FaultPlan, HostCrash, Retr
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..emio.storage import StorageSpec, resolve_storage
+from ..obs.live import RunEventLog
 from ..obs.spans import NULL_OBSERVER, Collector, NullObserver
 from ..params import ParameterError, SimulationParams
 from .backend import make_backend
@@ -109,6 +110,7 @@ class _RealProcessor:
         fast_io: bool,
         observe: bool = False,
         storage: StorageSpec | None = None,
+        profile: bool = False,
     ):
         self.index = index
         self.algorithm = algorithm
@@ -149,8 +151,13 @@ class _RealProcessor:
         # drained to the engine (over the pipe, under the process backend)
         # by drain_obs() — per-worker visibility with zero cost when off.
         self.obs: Collector | NullObserver = (
-            Collector(proc=index) if observe else NULL_OBSERVER
+            Collector(proc=index, profile=profile) if observe else NULL_OBSERVER
         )
+        # Under the process backend this worker's private profiler bills the
+        # local storage plane; under the inline backend the engine replaces
+        # it with its own (share_profile) right after construction.
+        self.array.set_profiler(self.obs.profile)
+        self.obs.profile.start()
 
     # -- placement (local views of the engine's maps) --------------------------
 
@@ -199,7 +206,7 @@ class _RealProcessor:
 
     def load_input(self) -> int:
         alg = self.algorithm
-        with self.obs.span("load_input") as sp:
+        with self.obs.span("load_input", cat="layout") as sp:
             for j in range(self.nbatches):
                 vps = self.round_vps(j)
                 states = [alg.initial_state(vp, self.v) for vp in vps]
@@ -222,7 +229,7 @@ class _RealProcessor:
 
     def fetch(self, j: int) -> tuple[dict[int, list[Block]], int]:
         """Step 1(a): read batch ``j``'s blocks, grouped by owning processor."""
-        with self.obs.span("fetch", batch=j) as sp:
+        with self.obs.span("fetch", batch=j, cat="layout") as sp:
             if self.incoming is not None:
                 blks = [
                     blk
@@ -253,7 +260,7 @@ class _RealProcessor:
         for blk in inbound:
             per_vp_blocks[blk.dest].append(blk)
 
-        with self.obs.span("fetch_context", batch=j) as sp:
+        with self.obs.span("fetch_context", batch=j, cat="layout") as sp:
             states = self.contexts.load_group(self._round_slots(j))
             fetch_io = self.io_delta()
             sp.add(io_ops=fetch_io)
@@ -263,7 +270,7 @@ class _RealProcessor:
         comp = 0.0
         sent_records = 0
         halted = True
-        with self.obs.span("compute", batch=j, step=step) as sp:
+        with self.obs.span("compute", batch=j, step=step, cat="kernel") as sp:
             for vp, state in zip(vps, states):
                 msgs = blocks_to_messages(per_vp_blocks[vp])
                 if gamma is not None:
@@ -284,7 +291,7 @@ class _RealProcessor:
                     for pkt in message_to_packets(msg, m.b, mi):
                         packets.append((self.rng.randrange(self.p), pkt))
             sp.add(comp_ops=comp, packets=len(packets))
-        with self.obs.span("write_context", batch=j) as sp:
+        with self.obs.span("write_context", batch=j, cat="layout") as sp:
             self.contexts.save_group(self._round_slots(j), new_states)
             save_io = self.io_delta()
             sp.add(io_ops=save_io)
@@ -300,7 +307,7 @@ class _RealProcessor:
     def write(self, j: int, packets: list[Packet]) -> tuple[int, int]:
         """Step 1(c): cut received packets into blocks, append to buckets."""
         m = self.params.machine
-        with self.obs.span("write_messages", batch=j) as sp:
+        with self.obs.span("write_messages", batch=j, cat="layout") as sp:
             rblocks: list[Block] = []
             for pkt in packets:
                 rblocks.extend(packet_to_blocks(pkt, m.B))
@@ -313,7 +320,7 @@ class _RealProcessor:
         """Step 2: Algorithm 2 on the local buckets."""
         if self.obs.enabled:
             self._sample_disks(self.buckets)
-        with self.obs.span("reorganize", step=step) as sp:
+        with self.obs.span("reorganize", step=step, cat="routing") as sp:
             new_incoming, routing = simulate_routing(
                 self.array,
                 self.allocator,
@@ -343,7 +350,7 @@ class _RealProcessor:
     def export_checkpoint(
         self, group_size: int
     ) -> tuple[bytes, bytes | None, Any, set[int], int, dict | None]:
-        with self.obs.span("checkpoint") as sp:
+        with self.obs.span("checkpoint", cat="checkpoint") as sp:
             state_blob = freeze(self.contexts.export_all(group_size=group_size))
             if self.incoming is not None:
                 blocks = self.incoming.read_slots(range(self.incoming.nslots))
@@ -378,10 +385,12 @@ class _RealProcessor:
             else (list(inc.slot_sizes), inc.base, inc.name),
         }
 
-    def attach_storage(self, ref: dict, rng_state: Any, step: int) -> int:
+    def attach_storage(
+        self, ref: dict, rng_state: Any, step: int, state_blob: bytes | None = None
+    ) -> int:
         """Re-attach this processor's on-disk track files from a checkpoint
         reference (the fresh-process crash-recovery path; zero counted I/O)."""
-        with self.obs.span("recover", step=step):
+        with self.obs.span("recover", step=step, cat="checkpoint"):
             if rng_state is not None:
                 self.rng.setstate(rng_state)
             self.array.restore_storage(ref["disks"])
@@ -390,6 +399,11 @@ class _RealProcessor:
             self.allocator._free = sorted(tuple(run) for run in free)
             self.contexts._used = list(ref["ctx_used"])
             self.contexts.invalidate_cache()
+            # Cache-mode saves are charge-only on the fast plane, so the
+            # attached disk image has no context bytes — reseed the cache
+            # from the checkpoint's portable states (no counted I/O).
+            if state_blob is not None and self.contexts.cache:
+                self.contexts.prime_cache(thaw(state_blob))
             if ref["incoming"] is not None:
                 slot_sizes, base, name = ref["incoming"]
                 self.incoming = StripedRegion.adopt(
@@ -409,7 +423,7 @@ class _RealProcessor:
     def restore_checkpoint(
         self, state_blob: bytes, inc_blob: bytes | None, rng_state: Any, step: int
     ) -> int:
-        with self.obs.span("recover", step=step):
+        with self.obs.span("recover", step=step, cat="checkpoint"):
             return self._restore_checkpoint(state_blob, inc_blob, rng_state, step)
 
     def _restore_checkpoint(
@@ -440,7 +454,7 @@ class _RealProcessor:
 
     def collect_outputs(self) -> tuple[dict[int, Any], int, int]:
         alg = self.algorithm
-        with self.obs.span("collect_outputs") as sp:
+        with self.obs.span("collect_outputs", cat="layout") as sp:
             outs: dict[int, Any] = {}
             for j in range(self.nbatches):
                 vps = self.round_vps(j)
@@ -542,6 +556,7 @@ class ParallelEMSimulation:
         context_cache: bool = False,
         fast_io: bool = False,
         observer: Collector | None = None,
+        events: "RunEventLog | None" = None,
         storage: "str | StorageSpec" = "memory",
         storage_dir: str | None = None,
         crash: CrashPlan | None = None,
@@ -558,6 +573,7 @@ class ParallelEMSimulation:
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
         self.obs = observer if observer is not None else NULL_OBSERVER
+        self.events = events
         # The engine claims the root directory; each worker derives (and
         # claims) its proc{i} sub-root from the pickled spec.
         self.storage_spec = resolve_storage(storage, storage_dir)
@@ -602,12 +618,23 @@ class ParallelEMSimulation:
                 fast_io,
                 observer is not None,
                 self.storage_spec,
+                self.obs.profile.enabled,
             )
             for i in range(self.p)
         ]
         self.backend = make_backend(backend, init_args)
         # Inline processors stay inspectable (tests, notebooks).
         self.procs = getattr(self.backend, "procs", None)
+        # Wall-clock attribution plumbing (all no-ops when unprofiled): the
+        # backend bills pipe sends as ``ipc`` and the receive-all rounds as
+        # ``barrier_wait``; inline workers run on the engine thread, so they
+        # share the engine profiler's scope stack instead of keeping the
+        # private per-processor profilers the process backend drains.
+        self.backend.profiler = self.obs.profile
+        if self.procs is not None and self.obs.profile.enabled:
+            for pr in self.procs:
+                pr.obs.share_profile(self.obs.profile)
+                pr.array.set_profiler(self.obs.profile)
 
         self.last_checkpoint: SuperstepCheckpoint | None = None
         self._recoveries = 0
@@ -643,13 +670,19 @@ class ParallelEMSimulation:
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
+        self.obs.profile.start()
+        self._emit_run_started()
         try:
             self._load_input()
             if self.checkpoint_enabled:
                 self._guarded_checkpoint(0)
             self._run_from(0)
             return self._finish()
+        except BaseException as exc:
+            self._emit_run_finished("error", error=repr(exc))
+            raise
         finally:
+            self.obs.profile.stop()
             self._shutdown()
 
     def resume_from_checkpoint(
@@ -663,6 +696,8 @@ class ParallelEMSimulation:
             raise ParameterError(
                 f"checkpoint holds {ckpt.nprocs} processors, machine has {self.p}"
             )
+        self.obs.profile.start()
+        self._emit_run_started(resumed_from=ckpt.step)
         try:
             self._resumed_from = ckpt.step
             self.last_checkpoint = ckpt
@@ -673,7 +708,11 @@ class ParallelEMSimulation:
                 self._restore(ckpt)
             self._run_from(ckpt.step)
             return self._finish()
+        except BaseException as exc:
+            self._emit_run_finished("error", error=repr(exc))
+            raise
         finally:
+            self.obs.profile.stop()
             self._shutdown()
 
     def _refs_attachable(self, refs: list[dict | None] | None) -> bool:
@@ -691,14 +730,17 @@ class ParallelEMSimulation:
         )
 
     def _attach_storage(self, ckpt: SuperstepCheckpoint, refs: list[dict]) -> None:
-        with self.obs.span("recover", step=ckpt.step):
+        with self.obs.span("recover", step=ckpt.step, cat="checkpoint"):
             self.report, self.ledger = thaw(ckpt.report_blob)
             rngs = ckpt.rng_state
             if not isinstance(rngs, list):
                 rngs = [rngs] * self.p
             self.backend.call_all(
                 "attach_storage",
-                [(refs[i], rngs[i], ckpt.step) for i in range(self.p)],
+                [
+                    (refs[i], rngs[i], ckpt.step, ckpt.proc_states[i])
+                    for i in range(self.p)
+                ],
             )
         if self.obs.enabled:
             self.obs.metrics.counter("recoveries").inc()
@@ -711,10 +753,54 @@ class ParallelEMSimulation:
         self.backend.close()
         self.storage_spec.cleanup()
 
+    # -- live event stream ------------------------------------------------------------
+
+    def _bytes_moved(self) -> int:
+        """Host bytes physically moved so far: storage-plane traffic for the
+        inline backend (the engine owns the arrays), pipe traffic for the
+        process backend (the arrays live in the workers)."""
+        if self.procs is not None:
+            return sum(
+                pr.array.storage_read_bytes + pr.array.storage_write_bytes
+                for pr in self.procs
+            )
+        return self.backend.tx_bytes + self.backend.rx_bytes
+
+    def _counted_io_ops(self) -> int:
+        return self.report.init_io_ops + sum(
+            sr.phases.total for sr in self.report.supersteps
+        )
+
+    def _emit_run_started(self, **extra: Any) -> None:
+        if self.events is None:
+            return
+        p = self.params
+        self.events.run_started(
+            engine="parallel",
+            backend=self.backend.name,
+            algorithm=type(self.algorithm).__name__,
+            v=p.bsp.v,
+            p=p.machine.p,
+            D=p.machine.D,
+            B=p.machine.B,
+            storage=self.storage_spec.kind,
+            **extra,
+        )
+
+    def _emit_run_finished(self, status: str, **extra: Any) -> None:
+        if self.events is None:
+            return
+        self.events.run_finished(
+            status,
+            io_ops=self._counted_io_ops(),
+            bytes_moved=self._bytes_moved(),
+            **extra,
+        )
+
     # -- run skeleton ---------------------------------------------------------------
 
     def _load_input(self) -> None:
-        with self.obs.span("load_input") as sp:
+        with self.obs.span("load_input", cat="layout") as sp:
             self.report.init_io_ops = max(self.backend.call_all("load_input"))
             sp.add(io_ops=self.report.init_io_ops)
 
@@ -727,11 +813,21 @@ class ParallelEMSimulation:
                     f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
             try:
-                with self.obs.span("superstep", step=step) as sp:
+                if self.events is not None:
+                    self.events.superstep_started(step)
+                bytes0 = self._bytes_moved() if self.events is not None else 0
+                with self.obs.span("superstep", step=step, cat="layout") as sp:
                     finished = self._superstep(step)
                     sp.add(io_ops=self.report.supersteps[-1].phases.total)
                 if not finished and self.checkpoint_enabled:
                     self._take_checkpoint(step + 1)
+                self.obs.profile.mark_superstep(step)
+                if self.events is not None:
+                    self.events.superstep_finished(
+                        step,
+                        io_ops=self.report.supersteps[-1].phases.total,
+                        bytes_moved=self._bytes_moved() - bytes0,
+                    )
             except FATAL_IO_FAULTS as exc:
                 step = self._handle_fault(exc)
                 continue
@@ -771,7 +867,7 @@ class ParallelEMSimulation:
         the model cost is the maximum over processors, like any phase)."""
         self._crash_stage("torn")
         self._crash_stage("lost")
-        with self.obs.span("checkpoint", step=step):
+        with self.obs.span("checkpoint", step=step, cat="checkpoint"):
             self._take_checkpoint_inner(step)
         self._publish_checkpoint()
 
@@ -797,7 +893,10 @@ class ParallelEMSimulation:
         """Atomically publish the barrier through the storage root's journal."""
         self._crash_stage("postsync")
         if self._journal is not None:
-            self._journal.commit(self.last_checkpoint, on_stage=self._crash_stage)
+            with self.obs.profile.scope("checkpoint"):
+                self._journal.commit(
+                    self.last_checkpoint, on_stage=self._crash_stage
+                )
             self.obs.metrics.counter("checkpoint/commits").inc()
 
     def _take_checkpoint_inner(self, step: int) -> None:
@@ -816,7 +915,7 @@ class ParallelEMSimulation:
         self._checkpoint_io_ops += max(e[4] for e in exports)
 
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
-        with self.obs.span("recover", step=ckpt.step):
+        with self.obs.span("recover", step=ckpt.step, cat="checkpoint"):
             self.report, self.ledger = thaw(ckpt.report_blob)
             rngs = ckpt.rng_state
             if not isinstance(rngs, list):
@@ -848,7 +947,7 @@ class ParallelEMSimulation:
         for j in range(self.nbatches):
             # ---- Fetching phase: local reads + gather h-relation ----
             # inbound[q] = blocks for processor q's current k vps.
-            with obs.span("fetch_barrier", batch=j) as sp:
+            with obs.span("fetch_barrier", batch=j, cat="layout") as sp:
                 fetches = self.backend.call_all("fetch", [(j,)] * self.p)
                 d = max(io for _by, io in fetches)
                 phases.fetch_messages += d
@@ -868,7 +967,7 @@ class ParallelEMSimulation:
             cost.syncs += 1
 
             # ---- Computing phase (incl. local context swaps) ----
-            with obs.span("compute_barrier", batch=j) as sp:
+            with obs.span("compute_barrier", batch=j, cat="kernel") as sp:
                 computes = self.backend.call_all(
                     "compute", [(j, step, inbound[q]) for q in range(self.p)]
                 )
@@ -893,7 +992,7 @@ class ParallelEMSimulation:
                 scatter_sent[q] + scatter_recv[q] for q in range(self.p)
             )
             cost.syncs += 1
-            with obs.span("write_barrier", batch=j) as sp:
+            with obs.span("write_barrier", batch=j, cat="layout") as sp:
                 writes = self.backend.call_all(
                     "write", [(j, outpackets[q]) for q in range(self.p)]
                 )
@@ -903,7 +1002,7 @@ class ParallelEMSimulation:
             phases.write_messages += d
 
         # ---- Step 2: local reorganization on every processor ----
-        with obs.span("reorganize_barrier") as sp:
+        with obs.span("reorganize_barrier", cat="routing") as sp:
             reorgs = self.backend.call_all("reorganize", [(step,)] * self.p)
             d = max(io for _r, io in reorgs)
             sp.add(io_ops=d)
@@ -952,7 +1051,7 @@ class ParallelEMSimulation:
         self.report.ledger = self.ledger
 
         # ---- unload output ----
-        with self.obs.span("collect_outputs"):
+        with self.obs.span("collect_outputs", cat="layout"):
             collected = self.backend.call_all("collect_outputs")
         outputs: list[Any] = [None] * self.v
         for outs, _io, _hw in collected:
@@ -974,6 +1073,7 @@ class ParallelEMSimulation:
             if tx or rx:
                 mx.counter("backend/tx_bytes").inc(tx)
                 mx.counter("backend/rx_bytes").inc(rx)
+        self._emit_run_finished("ok")
         return outputs, self.report
 
     def _attach_fault_report(self) -> None:

@@ -49,6 +49,7 @@ from ..emio.faults import FATAL_IO_FAULTS, CrashPlan, FaultPlan, HostCrash, Retr
 from ..emio.layout import RegionAllocator, StripedRegion
 from ..emio.linked import LinkedBuckets
 from ..emio.storage import StorageSpec, resolve_storage
+from ..obs.live import RunEventLog
 from ..obs.spans import NULL_OBSERVER, Collector
 from ..params import ParameterError, SimulationParams
 from .checkpoint import (
@@ -121,6 +122,17 @@ class SequentialEMSimulation:
         Purely read-only at phase boundaries: counted costs, outputs, and
         reports are byte-identical with and without it, and the fast data
         plane stays available (unlike :meth:`repro.emio.trace.IOTrace.attach`).
+        A ``Collector(profile=True)`` additionally receives the wall-clock
+        attribution profile (DESIGN §11): the engine installs the
+        collector's :class:`~repro.obs.profile.CategoryProfiler` into its
+        disk array (and therefore the storage plane) and bills each phase
+        to its category.
+    events:
+        Optional :class:`~repro.obs.live.RunEventLog`: the engine streams
+        ``run_started`` / ``superstep_started`` / ``superstep_finished`` /
+        ``run_finished`` events (with counted io_ops, storage bytes moved,
+        and an ETA when the log has an ``expected_steps`` hint) as
+        line-flushed JSONL.  Read-only like the observer.
     storage:
         Storage plane for the simulated drives: ``"memory"`` (default),
         ``"file"``, or ``"mmap"`` — or a prebuilt
@@ -157,6 +169,7 @@ class SequentialEMSimulation:
         context_cache: bool = False,
         fast_io: bool = False,
         observer: Collector | None = None,
+        events: "RunEventLog | None" = None,
         storage: "str | StorageSpec" = "memory",
         storage_dir: str | None = None,
         crash: CrashPlan | None = None,
@@ -176,6 +189,7 @@ class SequentialEMSimulation:
         self.checkpoint_enabled = checkpoint
         self.max_recoveries = max_recoveries
         self.obs = observer if observer is not None else NULL_OBSERVER
+        self.events = events
         self.storage_spec = resolve_storage(storage, storage_dir)
         if crash is not None:
             if self.storage_spec.kind == "memory" or not checkpoint:
@@ -199,6 +213,9 @@ class SequentialEMSimulation:
             m.D, m.B, faults=faults, retry=retry, proc=0, fast_io=fast_io,
             storage=self.storage_spec,
         )
+        # Thread the attribution profiler through the storage plane by
+        # reference (NULL_PROFILER when the collector is unprofiled).
+        self.array.set_profiler(self.obs.profile)
         self.allocator = RegionAllocator(self.array)
         self.ledger = CostLedger(m)
         self.report = SimulationReport(params=params, ledger=self.ledger)
@@ -258,17 +275,52 @@ class SequentialEMSimulation:
                 self.obs.sample(f"disk{d}/storage_read_bytes", st.read_bytes)
                 self.obs.sample(f"disk{d}/storage_write_bytes", st.write_bytes)
 
+    def _bytes_moved(self) -> int:
+        """Cumulative host bytes through the storage plane (0 on memory)."""
+        return self.array.storage_read_bytes + self.array.storage_write_bytes
+
+    def _emit_run_started(self, **extra: Any) -> None:
+        if self.events is None:
+            return
+        p = self.params
+        self.events.run_started(
+            engine="sequential",
+            algorithm=type(self.algorithm).__name__,
+            v=p.bsp.v,
+            p=1,
+            D=p.machine.D,
+            B=p.machine.B,
+            storage=self.storage_spec.kind,
+            **extra,
+        )
+
+    def _emit_run_finished(self, status: str, **extra: Any) -> None:
+        if self.events is None:
+            return
+        self.events.run_finished(
+            status,
+            io_ops=self.array.parallel_ops,
+            bytes_moved=self._bytes_moved(),
+            **extra,
+        )
+
     # -- main entry ------------------------------------------------------------------
 
     def run(self) -> tuple[list[Any], SimulationReport]:
         """Simulate to completion; return (per-vp outputs, report)."""
+        self.obs.profile.start()
+        self._emit_run_started()
         try:
             self._load_input()
             if self.checkpoint_enabled:
                 self._guarded_checkpoint(0)
             self._run_from(0)
             return self._finish()
+        except BaseException as exc:
+            self._emit_run_finished("error", error=repr(exc))
+            raise
         finally:
+            self.obs.profile.stop()
             self._close_storage()
 
     def resume_from_checkpoint(
@@ -293,6 +345,8 @@ class SequentialEMSimulation:
             raise ParameterError(
                 f"checkpoint holds {ckpt.nprocs} processors, expected 1"
             )
+        self.obs.profile.start()
+        self._emit_run_started(resumed_from=ckpt.step)
         try:
             self._resumed_from = ckpt.step
             self.last_checkpoint = ckpt
@@ -303,7 +357,11 @@ class SequentialEMSimulation:
                 self._restore(ckpt)
             self._run_from(ckpt.step)
             return self._finish()
+        except BaseException as exc:
+            self._emit_run_finished("error", error=repr(exc))
+            raise
         finally:
+            self.obs.profile.stop()
             self._close_storage()
 
     def _close_storage(self) -> None:
@@ -315,7 +373,7 @@ class SequentialEMSimulation:
     def _load_input(self) -> None:
         """Create and store the initial contexts, ``k`` at a time."""
         alg, v = self.algorithm, self.params.bsp.v
-        with self.obs.span("load_input") as sp:
+        with self.obs.span("load_input", cat="layout") as sp:
             ops0 = self.array.parallel_ops
             for g in range(self.groups):
                 slots = self._group_slots(g)
@@ -334,11 +392,21 @@ class SequentialEMSimulation:
                     f"MAX_SUPERSTEPS={self.algorithm.MAX_SUPERSTEPS}"
                 )
             try:
-                with self.obs.span("superstep", step=step) as sp:
+                if self.events is not None:
+                    self.events.superstep_started(step)
+                bytes0 = self._bytes_moved()
+                with self.obs.span("superstep", step=step, cat="layout") as sp:
                     finished = self._superstep(step)
                     sp.add(io_ops=self.report.supersteps[-1].phases.total)
                 if not finished and self.checkpoint_enabled:
                     self._take_checkpoint(step + 1)
+                self.obs.profile.mark_superstep(step)
+                if self.events is not None:
+                    self.events.superstep_finished(
+                        step,
+                        io_ops=self.report.supersteps[-1].phases.total,
+                        bytes_moved=self._bytes_moved() - bytes0,
+                    )
             except FATAL_IO_FAULTS as exc:
                 step = self._handle_fault(exc)
                 continue
@@ -387,7 +455,7 @@ class SequentialEMSimulation:
         """
         self._crash_stage("torn")
         self._crash_stage("lost")
-        with self.obs.span("checkpoint", step=step) as sp:
+        with self.obs.span("checkpoint", step=step, cat="checkpoint") as sp:
             ops0 = self.array.parallel_ops
             states = self.contexts.export_all(group_size=self.params.k)
             if self._incoming is not None:
@@ -434,7 +502,10 @@ class SequentialEMSimulation:
         """Atomically publish the barrier through the storage root's journal."""
         self._crash_stage("postsync")
         if self._journal is not None:
-            self._journal.commit(self.last_checkpoint, on_stage=self._crash_stage)
+            with self.obs.profile.scope("checkpoint"):
+                self._journal.commit(
+                    self.last_checkpoint, on_stage=self._crash_stage
+                )
             self.obs.metrics.counter("checkpoint/commits").inc()
 
     def _storage_refs(self) -> list[dict] | None:
@@ -482,7 +553,7 @@ class SequentialEMSimulation:
         ``recovery_io_ops`` stays 0, which is the whole point of
         checkpoint-by-reference.
         """
-        with self.obs.span("recover", step=ckpt.step) as sp:
+        with self.obs.span("recover", step=ckpt.step, cat="checkpoint") as sp:
             self.report, self.ledger = thaw(ckpt.report_blob)
             self.rng.setstate(ckpt.rng_state)
             self.array.restore_storage(ref["disks"])
@@ -491,6 +562,10 @@ class SequentialEMSimulation:
             self.allocator._free = sorted(tuple(run) for run in free)
             self.contexts._used = list(ref["ctx_used"])
             self.contexts.invalidate_cache()
+            # Cache-mode saves are charge-only on the fast plane, so the
+            # attached disk image has no context bytes — reseed the cache
+            # from the checkpoint's portable states (no counted I/O).
+            self.contexts.prime_cache(thaw(ckpt.proc_states[0]))
             if ref["incoming"] is not None:
                 slot_sizes, base, name = ref["incoming"]
                 self._incoming = StripedRegion.adopt(
@@ -503,7 +578,7 @@ class SequentialEMSimulation:
     def _restore(self, ckpt: SuperstepCheckpoint) -> None:
         """Rewrite the checkpointed barrier state onto the (possibly
         degraded) disk array and rewind report, ledger, and RNG."""
-        with self.obs.span("recover", step=ckpt.step) as sp:
+        with self.obs.span("recover", step=ckpt.step, cat="checkpoint") as sp:
             ops0 = self.array.parallel_ops
             # Drop partial superstep state.  Scratch leaked by an interrupted
             # reorganization stays allocated (it only inflates the space high
@@ -566,14 +641,14 @@ class SequentialEMSimulation:
             slots = self._group_slots(g)
 
             # -- Fetching phase: Step 1(a) contexts, Step 1(b) messages --
-            with obs.span("fetch_context", group=g) as sp:
+            with obs.span("fetch_context", group=g, cat="layout") as sp:
                 t = self.array.parallel_ops
                 states = self.contexts.load_group(slots)
                 d = self._io_delta(t)
                 phases.fetch_context += d
                 sp.add(io_ops=d)
 
-            with obs.span("fetch_messages", group=g) as sp:
+            with obs.span("fetch_messages", group=g, cat="layout") as sp:
                 t = self.array.parallel_ops
                 if self._incoming is not None:
                     group_blocks = self._incoming.read_slots(slots)
@@ -586,7 +661,7 @@ class SequentialEMSimulation:
             # -- Computation phase: Step 1(c) --
             group_out_blocks: list[Block] = []
             new_states = []
-            with obs.span("compute", group=g) as sp:
+            with obs.span("compute", group=g, cat="kernel") as sp:
                 comp0 = cost.comp_ops
                 for pid, state, blks in zip(slots, states, group_blocks):
                     msgs = blocks_to_messages(blks)
@@ -619,7 +694,7 @@ class SequentialEMSimulation:
                         Block(records=[], dest=dummy_rr % v, dummy=True)
                     )
                     dummy_rr += 1
-            with obs.span("write_messages", group=g) as sp:
+            with obs.span("write_messages", group=g, cat="layout") as sp:
                 t = self.array.parallel_ops
                 buckets.append_blocks(group_out_blocks)
                 d = self._io_delta(t)
@@ -627,7 +702,7 @@ class SequentialEMSimulation:
                 sp.add(io_ops=d, blocks=len(group_out_blocks))
             blocks_generated += sum(0 if b.dummy else 1 for b in group_out_blocks)
 
-            with obs.span("write_context", group=g) as sp:
+            with obs.span("write_context", group=g, cat="layout") as sp:
                 t = self.array.parallel_ops
                 self.contexts.save_group(slots, new_states)
                 d = self._io_delta(t)
@@ -637,7 +712,7 @@ class SequentialEMSimulation:
         # -- Step 2: reorganize the generated blocks (Algorithm 2) --
         if obs.enabled:
             self._sample_disks(buckets)
-        with obs.span("reorganize") as sp:
+        with obs.span("reorganize", cat="routing") as sp:
             t = self.array.parallel_ops
             new_incoming, routing = simulate_routing(
                 self.array,
@@ -695,7 +770,7 @@ class SequentialEMSimulation:
         self.report.ledger = self.ledger
 
         # ---- unload output, k contexts at a time ----
-        with self.obs.span("collect_outputs") as sp:
+        with self.obs.span("collect_outputs", cat="layout") as sp:
             ops0 = self.array.parallel_ops
             outputs: list[Any] = []
             for g in range(self.groups):
@@ -715,6 +790,7 @@ class SequentialEMSimulation:
                 mx.counter("storage/read_bytes").inc(self.array.storage_read_bytes)
                 mx.counter("storage/write_bytes").inc(self.array.storage_write_bytes)
         self._attach_fault_report()
+        self._emit_run_finished("ok")
         return outputs, self.report
 
     def _attach_fault_report(self) -> None:

@@ -14,6 +14,7 @@ from typing import Any, Literal
 
 from ..bsp.program import BSPAlgorithm
 from ..emio.faults import CrashPlan, FaultPlan, RetryPolicy
+from ..obs.live import RunEventLog
 from ..obs.spans import Collector
 from ..params import BSPParams, MachineParams, SimulationParams
 from .parsim import ParallelEMSimulation
@@ -59,6 +60,7 @@ def simulate(
     context_cache: bool = False,
     fast_io: bool = False,
     observer: Collector | None = None,
+    events: RunEventLog | None = None,
     storage: str = "memory",
     storage_dir: str | None = None,
     crash: CrashPlan | None = None,
@@ -111,6 +113,12 @@ def simulate(
         changes counted costs, outputs, or reports, and does not force the
         arrays off the fast data plane; export with
         :func:`repro.obs.write_chrome_trace` / :func:`repro.obs.write_jsonl`.
+        A ``Collector(profile=True)`` also collects the wall-clock
+        attribution profile (``repro.obs.build_report``, DESIGN §11).
+    events:
+        A :class:`~repro.obs.live.RunEventLog` streaming run/superstep
+        lifecycle events as line-flushed JSONL during the run (``repro
+        watch <file>`` tails it).  Read-only like ``observer``.
     storage:
         Block-storage plane backing the simulated disks: ``"memory"``
         (default, plain dicts), ``"file"`` (one preallocated track file per
@@ -168,6 +176,7 @@ def simulate(
         context_cache=context_cache,
         fast_io=fast_io,
         observer=observer,
+        events=events,
         storage=storage,
         storage_dir=storage_dir,
         crash=crash,

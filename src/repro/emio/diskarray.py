@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..obs.profile import NULL_PROFILER
 from .disk import SHADOW_TRACK_BASE, Block, Disk, DiskError
 from .storage import StorageSpec
 from .faults import (
@@ -129,10 +130,29 @@ class DiskArray:
         self._shadow_next: dict[int, int] = {}
         self._remap_rr = 0
 
+    #: Wall-clock attribution profiler shared with this array's storages
+    #: (installed by :meth:`set_profiler`; the no-op by default).
+    profiler = NULL_PROFILER
+
     @property
     def fast_data_plane(self) -> bool:
         """True when the counted-cost short-circuits are active."""
         return self._fast and not self.hooked and not self.dead_disks
+
+    def set_profiler(self, profiler) -> None:
+        """Install an attribution profiler on the array and its storages.
+
+        Threading is by object reference, never module state: each drive's
+        storage bills its ``pread``/``pwrite``/``fsync`` and image
+        encode/decode to the given profiler's scope stack.  Profiling is
+        read-only — nothing about counted costs or stored bytes changes.
+        """
+        self.profiler = profiler
+        for d in self.disks:
+            st = d.storage
+            # CrashyStorage wraps the real plane; the raw I/O happens on
+            # the inner object, so the scopes must live there.
+            getattr(st, "_inner", st).profiler = profiler
 
     # -- degraded mode ---------------------------------------------------------
 

@@ -30,6 +30,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from ..obs.profile import NULL_PROFILER
 from .disk import Block, DiskError
 from .diskarray import DiskArray
 
@@ -119,23 +120,34 @@ def bytes_to_blocks(data: bytes | memoryview, B: int) -> list[Block]:
     ]
 
 
-def pickle_to_blocks(obj: Any, B: int, max_records: int | None = None) -> list[Block]:
+def pickle_to_blocks(
+    obj: Any, B: int, max_records: int | None = None, *, profiler=NULL_PROFILER
+) -> list[Block]:
     """Serialize ``obj`` and split the bytes into blocks of ``B`` records.
 
     One record carries :attr:`Block.BYTES_PER_RECORD` bytes of the pickle.
     If ``max_records`` is given and the serialized size exceeds it, a
-    :class:`DiskError` is raised.
+    :class:`DiskError` is raised.  ``profiler`` bills the pickling to the
+    ``serialize`` category (wall-clock attribution only; never counted).
     """
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    profiler.push("serialize")
+    try:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        profiler.pop()
     check_context_bound(data, max_records)
     return bytes_to_blocks(data, B)
 
 
-def blocks_to_object(blocks: Iterable[Block | None]) -> Any:
+def blocks_to_object(blocks: Iterable[Block | None], *, profiler=NULL_PROFILER) -> Any:
     """Inverse of :func:`pickle_to_blocks`."""
     present = sorted((b for b in blocks if b is not None), key=lambda b: b.seq)
     data = b"".join(bytes(b.records) for b in present)
-    return pickle.loads(data)
+    profiler.push("serialize")
+    try:
+        return pickle.loads(data)
+    finally:
+        profiler.pop()
 
 
 class RegionAllocator:

@@ -57,6 +57,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Protocol
 
+from ..obs.profile import NULL_PROFILER
+
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a circular import
     from .disk import Block
     from .faults import CrashPlan
@@ -267,7 +269,22 @@ class BlockStorage(Protocol):
     def restore(self, snap: dict | None) -> None: ...  # pragma: no cover
 
 
-class MemoryStorage:
+class _ProfiledStorage:
+    """Shared profiler plumbing: attribution scopes for the storage plane.
+
+    ``profiler`` is installed by :meth:`~repro.emio.diskarray.DiskArray
+    .set_profiler` (default: the no-op :data:`NULL_PROFILER`).  Storage
+    methods bill raw data movement to ``syscall_io`` — ``pread``/``pwrite``
+    /``fsync`` on the file plane, page-cache copies on the mmap plane — and
+    image encode/decode to ``serialize``.  Scopes only *time* existing
+    work; bytes written, counters, and frames are byte-identical with
+    profiling on or off.
+    """
+
+    profiler = NULL_PROFILER
+
+
+class MemoryStorage(_ProfiledStorage):
     """The historical in-heap plane: a dict of live ``Block`` objects.
 
     Reads return the *same object* that was written (no copy), matching the
@@ -340,7 +357,7 @@ class _TracksView:
         return sum(1 for _ in self._storage.tracks())
 
 
-class FileStorage:
+class FileStorage(_ProfiledStorage):
     """One preallocated track file per drive; pickled images in slot runs.
 
     Layout: the file is an array of ``slot_bytes``-sized slots.  A stored
@@ -465,11 +482,20 @@ class FileStorage:
         if ext is None:
             return None
         base, _nslots, length, gen = ext
-        raw = self._read_at(base * self.slot_bytes, FRAME_BYTES + length)
+        prof = self.profiler
+        prof.push("syscall_io")
+        try:
+            raw = self._read_at(base * self.slot_bytes, FRAME_BYTES + length)
+        finally:
+            prof.pop()
         payload = _open_frame(raw, self.path, base, length, gen)
         if count:
             self.read_bytes += len(raw)
-        return _decode_block(payload)
+        prof.push("serialize")
+        try:
+            return _decode_block(payload)
+        finally:
+            prof.pop()
 
     def get(self, track: int) -> "Block | None":
         return self._load(track, count=True)
@@ -494,7 +520,12 @@ class FileStorage:
             del self._map[track]
             self._release(prev[0], prev[1])
             return True, None
-        payload = _encode_block(block)
+        prof = self.profiler
+        prof.push("serialize")
+        try:
+            payload = _encode_block(block)
+        finally:
+            prof.pop()
         need = -(-(FRAME_BYTES + len(payload)) // self.slot_bytes)
         if prev is not None and prev[1] == need and (prev[0], prev[1]) not in self._pinned:
             base = prev[0]  # overwrite in place
@@ -511,7 +542,12 @@ class FileStorage:
         prev_present, pending = self._place(track, block)
         if pending is not None:
             base, _need, record = pending
-            self._write_at(base * self.slot_bytes, record)
+            prof = self.profiler
+            prof.push("syscall_io")
+            try:
+                self._write_at(base * self.slot_bytes, record)
+            finally:
+                prof.pop()
         return prev_present
 
     def put_many(self, items: list[tuple[int, "Block | None"]]) -> list[bool]:
@@ -535,22 +571,27 @@ class FileStorage:
             if pending is not None:
                 writes.append(pending)
         writes.sort(key=lambda w: w[0])
-        i = 0
-        while i < len(writes):
-            start, need, record = writes[i]
-            end_slot = start + need
-            buf = bytearray(record)
-            j = i + 1
-            while j < len(writes) and writes[j][0] == end_slot:
-                nbase, nneed, nrecord = writes[j]
-                pad = (nbase - start) * self.slot_bytes - len(buf)
-                if pad:
-                    buf += b"\x00" * pad
-                buf += nrecord
-                end_slot = nbase + nneed
-                j += 1
-            self._write_at(start * self.slot_bytes, bytes(buf))
-            i = j
+        prof = self.profiler
+        prof.push("syscall_io")
+        try:
+            i = 0
+            while i < len(writes):
+                start, need, record = writes[i]
+                end_slot = start + need
+                buf = bytearray(record)
+                j = i + 1
+                while j < len(writes) and writes[j][0] == end_slot:
+                    nbase, nneed, nrecord = writes[j]
+                    pad = (nbase - start) * self.slot_bytes - len(buf)
+                    if pad:
+                        buf += b"\x00" * pad
+                    buf += nrecord
+                    end_slot = nbase + nneed
+                    j += 1
+                self._write_at(start * self.slot_bytes, bytes(buf))
+                i = j
+        finally:
+            prof.pop()
         return prev_flags
 
     def discard(self, track: int) -> bool:
@@ -567,7 +608,12 @@ class FileStorage:
         return _TracksView(self)
 
     def sync(self) -> None:
-        os.fsync(self._fd)
+        prof = self.profiler
+        prof.push("syscall_io")
+        try:
+            os.fsync(self._fd)
+        finally:
+            prof.pop()
 
     def close(self) -> None:
         if not self._closed:
@@ -669,8 +715,13 @@ class MmapStorage(FileStorage):
         self._mm[offset : offset + len(data)] = data
 
     def sync(self) -> None:
-        self._mm.flush()
-        os.fsync(self._fd)
+        prof = self.profiler
+        prof.push("syscall_io")
+        try:
+            self._mm.flush()
+            os.fsync(self._fd)
+        finally:
+            prof.pop()
 
     def close(self) -> None:
         if self._mm is not None:

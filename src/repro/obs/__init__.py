@@ -14,9 +14,21 @@ makes that accounting *visible inside a run*:
 * :mod:`repro.obs.export` — exporters: a JSONL event log and the Chrome
   trace-event format (loadable in Perfetto / ``chrome://tracing``), one track
   per real processor plus per-disk counter tracks.
+* :mod:`repro.obs.profile` — the wall-clock attribution profiler: exclusive
+  time per category (``kernel``, ``syscall_io``, ``serialize``, ``layout``,
+  ``routing``, ``ipc``, ``barrier_wait``, ``checkpoint``) aggregated
+  per-superstep into a :class:`~repro.obs.profile.ProfileReport`
+  (``repro perf report``, DESIGN §11).
+* :mod:`repro.obs.live` — :class:`~repro.obs.live.RunEventLog`, an
+  append-only line-flushed JSONL heartbeat/event bus written *during* the
+  run (``repro watch <file>`` tails it).
+* :mod:`repro.obs.trend` — bench-trajectory regression tracking over the
+  schema-versioned, host-fingerprinted ``BENCH_HISTORY.jsonl`` that
+  ``benchmarks/bench_perf.py`` appends to (``repro perf trend``).
 
 Attach via ``simulate(..., observer=Collector())`` or the CLI flags
-``--trace-out FILE`` / ``--jsonl-out FILE`` / ``--metrics``.
+``--trace-out FILE`` / ``--jsonl-out FILE`` / ``--metrics`` / ``--profile``
+/ ``--events FILE``.
 
 The layer honors the dual-accounting invariant: attaching an observer never
 changes any counted cost — spans only *read* the arrays' counters at phase
@@ -33,7 +45,16 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .live import RunEventLog, read_events, tail_events
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    CATEGORIES,
+    NULL_PROFILER,
+    CategoryProfiler,
+    NullProfiler,
+    ProfileReport,
+    build_report,
+)
 from .spans import NULL_OBSERVER, Collector, NullObserver, SpanRecord
 
 __all__ = [
@@ -45,6 +66,15 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "CATEGORIES",
+    "CategoryProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "ProfileReport",
+    "build_report",
+    "RunEventLog",
+    "read_events",
+    "tail_events",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from .profile import CATEGORY_COLORS
 from .spans import Collector, SpanRecord
 
 __all__ = [
@@ -41,7 +42,7 @@ JSONL_VERSION = 1
 
 
 def _span_obj(i: int, s: SpanRecord) -> dict:
-    return {
+    obj = {
         "type": "span",
         "id": i,
         "name": s.name,
@@ -51,6 +52,9 @@ def _span_obj(i: int, s: SpanRecord) -> dict:
         "t1": s.t1,
         "attrs": s.attrs,
     }
+    if s.cat is not None:
+        obj["cat"] = s.cat
+    return obj
 
 
 def write_jsonl(collector: Collector, path: str) -> int:
@@ -190,18 +194,22 @@ def chrome_trace(collector: Collector) -> dict:
         )
     for s in collector.spans:
         t1 = s.t1 if s.t1 is not None else t_end
-        events.append(
-            {
-                "ph": "X",
-                "cat": "span",
-                "name": s.name,
-                "pid": 0,
-                "tid": _tid_of(s.proc),
-                "ts": us(s.t0),
-                "dur": round(max(t1 - s.t0, 0.0) * 1e6, 3),
-                "args": s.attrs,
-            }
-        )
+        cat = getattr(s, "cat", None)
+        ev = {
+            "ph": "X",
+            # Attribution category as the trace-event category (filterable
+            # in Perfetto); uncategorized spans keep the generic "span".
+            "cat": cat if cat is not None else "span",
+            "name": s.name,
+            "pid": 0,
+            "tid": _tid_of(s.proc),
+            "ts": us(s.t0),
+            "dur": round(max(t1 - s.t0, 0.0) * 1e6, 3),
+            "args": s.attrs,
+        }
+        if cat in CATEGORY_COLORS:
+            ev["cname"] = CATEGORY_COLORS[cat]
+        events.append(ev)
     for t, name, value in collector.samples:
         events.append(
             {

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .metrics import MetricsRegistry, NullMetricsRegistry
+from .profile import NULL_PROFILER, CategoryProfiler
 
 __all__ = ["SpanRecord", "Collector", "NullObserver", "NULL_OBSERVER"]
 
@@ -52,6 +53,7 @@ class SpanRecord:
     parent: int | None = None  # index into the owning collector's span list
     proc: int | None = None  # real-processor index; None = engine/host
     attrs: dict[str, Any] = field(default_factory=dict)
+    cat: str | None = None  # attribution category (repro.obs.profile)
 
     @property
     def duration(self) -> float:
@@ -110,10 +112,12 @@ class NullObserver:
 
     enabled = False
 
+    profile = NULL_PROFILER
+
     def __init__(self) -> None:
         self.metrics = NullMetricsRegistry()
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:
+    def span(self, name: str, cat: str | None = None, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def sample(self, name: str, value: float) -> None:
@@ -132,11 +136,17 @@ class Collector:
         Real-processor index when this collector lives inside a worker
         (stamped on every span it records); ``None`` for the engine-side
         collector, whose spans form the engine track.
+    profile:
+        Attach a :class:`~repro.obs.profile.CategoryProfiler`: spans opened
+        with a ``cat=`` push that category onto the profiler's scope stack
+        for the span's duration, and the storage/backend layers bill their
+        fine-grained scopes to the same stack.  Off by default —
+        :data:`~repro.obs.profile.NULL_PROFILER` keeps every hook a no-op.
     """
 
     enabled = True
 
-    def __init__(self, proc: int | None = None):
+    def __init__(self, proc: int | None = None, profile: bool = False):
         self.proc = proc
         self.spans: list[SpanRecord] = []
         #: timestamped counter samples ``(t, name, value)`` — the time series
@@ -144,10 +154,27 @@ class Collector:
         self.samples: list[tuple[float, str, float]] = []
         self.metrics = MetricsRegistry()
         self._stack: list[int] = []
+        self.profile = CategoryProfiler() if profile else NULL_PROFILER
+        self._profile_shared = False
+        #: per-processor profiler snapshots drained from process-backend
+        #: workers (proc -> {"totals", "counts", "wall"}).
+        self.proc_profiles: dict[int, dict] = {}
+
+    def share_profile(self, profile) -> None:
+        """Bill this collector's categorized spans to ``profile``.
+
+        Used for inline-backend workers: they run on the engine's thread,
+        so their scopes nest inside the engine's scope stack and carve
+        exclusive time out of the same timeline (one coherent track
+        instead of overlapping ones).  A shared profiler is never drained
+        by this collector — the owner snapshots it.
+        """
+        self.profile = profile
+        self._profile_shared = True
 
     # -- recording ------------------------------------------------------------
 
-    def span(self, name: str, **attrs: Any) -> _Span:
+    def span(self, name: str, cat: str | None = None, **attrs: Any) -> _Span:
         span_id = len(self.spans)
         self.spans.append(
             SpanRecord(
@@ -156,9 +183,12 @@ class Collector:
                 parent=self._stack[-1] if self._stack else None,
                 proc=self.proc,
                 attrs=attrs,
+                cat=cat,
             )
         )
         self._stack.append(span_id)
+        if cat is not None:
+            self.profile.push(cat)
         return _Span(self, span_id)
 
     def _close(self, span_id: int) -> None:
@@ -166,6 +196,8 @@ class Collector:
         # Exception-safe: unwind past spans abandoned by a raise.
         while self._stack:
             top = self._stack.pop()
+            if self.spans[top].cat is not None:
+                self.profile.pop()
             if top == span_id:
                 break
 
@@ -182,11 +214,21 @@ class Collector:
         asks); repeated drains yield disjoint payloads, so ingest-side
         accumulation is exact.
         """
+        if self.profile.enabled and not self._profile_shared:
+            # A worker's private profiler ships as a per-processor snapshot;
+            # a shared (inline) profiler already billed the engine's track.
+            self.profile.stop()
+            profile = self.profile.snapshot()
+            self.profile.reset()
+            self.profile.start()
+        else:
+            profile = None
         payload = {
             "proc": self.proc,
             "spans": self.spans,
             "samples": self.samples,
             "metrics": self.metrics.snapshot(),
+            "profile": profile,
         }
         self.spans = []
         self.samples = []
@@ -213,11 +255,23 @@ class Collector:
                     parent=None if rec.parent is None else rec.parent + offset,
                     proc=rec.proc if rec.proc is not None else proc,
                     attrs=rec.attrs,
+                    cat=getattr(rec, "cat", None),
                 )
             )
         for t, name, value in payload["samples"]:
             self.samples.append((t, prefix + name, value))
         self.metrics.merge_snapshot(payload["metrics"], prefix=prefix)
+        snap = payload.get("profile")
+        if snap and proc is not None:
+            # Accumulate: repeated drains are disjoint, so totals add.
+            acc = self.proc_profiles.setdefault(
+                proc, {"totals": {}, "counts": {}, "wall": 0.0}
+            )
+            for cat, sec in snap["totals"].items():
+                acc["totals"][cat] = acc["totals"].get(cat, 0.0) + sec
+            for cat, n in snap["counts"].items():
+                acc["counts"][cat] = acc["counts"].get(cat, 0) + n
+            acc["wall"] += snap.get("wall", 0.0)
 
     # -- views -----------------------------------------------------------------
 

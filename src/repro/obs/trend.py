@@ -1,0 +1,223 @@
+"""Bench-trajectory regression tracking over ``BENCH_HISTORY.jsonl``.
+
+``benchmarks/bench_perf.py`` appends one schema-versioned, host-fingerprinted
+entry per run::
+
+    {"schema": 1, "t": <unix seconds>, "host": {...fingerprint...},
+     "results": {"<config key>": {"wall_s": ..., "io_ops": ...}, ...}}
+
+This module compares the latest entry against the **trajectory** — the
+median of the preceding same-host entries inside a sliding window — and
+returns a *soft* regression verdict: wall-clock is hostage to machine load,
+thermal state, and scheduler noise, so a single slow run warns (CI's
+perf-smoke job prints ``::warning::``) instead of failing the build.
+Counted-cost fields (``io_ops``) get a hard verdict: the model charges the
+same I/O on every host, so any drift there is a real behavioural change.
+
+Entries from other hosts are kept in the file (history survives moving
+between machines) but never compared against: a laptop's wall-clock says
+nothing about a CI runner's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "host_fingerprint",
+    "append_history",
+    "load_history",
+    "TrendVerdict",
+    "compare_trend",
+]
+
+#: Version stamped on every history entry.
+HISTORY_SCHEMA = 1
+
+#: A run slower than ``threshold`` times the trajectory median regresses.
+DEFAULT_THRESHOLD = 1.5
+
+#: Number of prior same-host entries the trajectory median is taken over.
+DEFAULT_WINDOW = 8
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """A stable description of the benchmarking host.
+
+    The ``id`` field is a short digest of the stable components — wall-clock
+    entries are only comparable when it matches.
+    """
+    info = {
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+        "node": platform.node(),
+    }
+    digest = hashlib.sha256(
+        json.dumps(info, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return {**info, "id": digest}
+
+
+def append_history(
+    path: str | os.PathLike,
+    results: dict[str, dict[str, Any]],
+    *,
+    t: float,
+    meta: dict[str, Any] | None = None,
+) -> dict:
+    """Append one run's results as a history entry; returns the entry.
+
+    ``results`` maps a config key (e.g. ``"seq_fast n=65536 sort"``) to its
+    measurements — ``wall_s`` is what the trend compares; ``io_ops`` (and
+    any other counted field) rides along for hard drift checks.
+    """
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "t": t,
+        "host": host_fingerprint(),
+        "results": results,
+    }
+    if meta:
+        entry["meta"] = meta
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+    return entry
+
+
+def load_history(path: str | os.PathLike, strict: bool = False) -> list[dict]:
+    """Parse the history file, oldest first.
+
+    Malformed lines and unknown schema versions are skipped (``strict``
+    raises instead): the history file outlives schema migrations and a
+    half-written line from a crashed bench run must not poison CI.
+    """
+    entries: list[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise ValueError(f"{path}: line {i + 1} is not valid JSON")
+                continue
+            if not isinstance(entry, dict) or "results" not in entry:
+                if strict:
+                    raise ValueError(f"{path}: line {i + 1} is not an entry")
+                continue
+            if entry.get("schema") != HISTORY_SCHEMA:
+                if strict:
+                    raise ValueError(
+                        f"{path}: line {i + 1} has schema "
+                        f"{entry.get('schema')!r}, expected {HISTORY_SCHEMA}"
+                    )
+                continue
+            entries.append(entry)
+    return entries
+
+
+@dataclass
+class TrendVerdict:
+    """Outcome of comparing the latest run against its trajectory.
+
+    ``status`` is one of ``"ok"``, ``"regressed"`` (some config's wall-clock
+    exceeded ``threshold`` × trajectory median — soft, advisory),
+    ``"counted_drift"`` (a counted cost changed — hard), or
+    ``"insufficient"`` (fewer than two same-host entries).
+    """
+
+    status: str
+    lines: list[str] = field(default_factory=list)
+    regressions: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def render(self) -> str:
+        head = f"trend: {self.status}"
+        return "\n".join([head] + [f"  {ln}" for ln in self.lines])
+
+
+def compare_trend(
+    history: list[dict],
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> TrendVerdict:
+    """Compare the newest history entry against its same-host trajectory."""
+    if not history:
+        return TrendVerdict("insufficient", ["history is empty"])
+    latest = history[-1]
+    host_id = latest.get("host", {}).get("id")
+    prior = [
+        e for e in history[:-1] if e.get("host", {}).get("id") == host_id
+    ][-window:]
+    if not prior:
+        return TrendVerdict(
+            "insufficient",
+            [f"no prior entries for host {host_id} — baseline recorded"],
+        )
+    lines: list[str] = []
+    regressions: list[dict] = []
+    counted_drift = False
+    for key, res in sorted(latest["results"].items()):
+        walls = [
+            e["results"][key]["wall_s"]
+            for e in prior
+            if key in e["results"] and "wall_s" in e["results"][key]
+        ]
+        if walls and "wall_s" in res:
+            med = statistics.median(walls)
+            ratio = res["wall_s"] / med if med > 0 else float("inf")
+            marker = ""
+            if ratio > threshold:
+                marker = f"  <-- regressed (> {threshold:.2f}x median)"
+                regressions.append(
+                    {"key": key, "kind": "wall", "ratio": ratio,
+                     "latest": res["wall_s"], "median": med}
+                )
+            lines.append(
+                f"{key}: wall {res['wall_s']:.3f}s vs median "
+                f"{med:.3f}s over {len(walls)} runs "
+                f"({ratio:.2f}x){marker}"
+            )
+        # Counted costs must match the trajectory exactly: the model charges
+        # the same I/O on every host and every run.
+        ios = {
+            e["results"][key]["io_ops"]
+            for e in prior
+            if key in e["results"] and "io_ops" in e["results"][key]
+        }
+        if ios and "io_ops" in res and res["io_ops"] not in ios:
+            counted_drift = True
+            regressions.append(
+                {"key": key, "kind": "counted", "latest": res["io_ops"],
+                 "seen": sorted(ios)}
+            )
+            lines.append(
+                f"{key}: counted io_ops {res['io_ops']} drifted from "
+                f"history {sorted(ios)}  <-- counted drift"
+            )
+    if counted_drift:
+        return TrendVerdict("counted_drift", lines, regressions)
+    if regressions:
+        return TrendVerdict("regressed", lines, regressions)
+    return TrendVerdict("ok", lines, regressions)

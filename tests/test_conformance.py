@@ -314,3 +314,51 @@ class TestConformCLI:
         proc = self.run_cli("--repro", str(path))
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "no longer fails" in proc.stdout
+
+
+# -- fixed regressions --------------------------------------------------------
+
+
+class TestFixedRegressions:
+    """Shrunk ReproCases of bugs the fuzzer found, replayed on every run."""
+
+    def crash_resume_eof_case(self, engine, backend):
+        """PR 8 fix: crash_resume EOFError on cached-context file crashes.
+
+        With ``context_cache=True`` on the fast data plane, context saves
+        are charge-only — the pickled bytes live in the host-side cache and
+        the context region of the disk image stays empty.  The attach-based
+        resume path restored ``ctx_used`` but invalidated the cache, so the
+        first ``load_group`` after a crash read zero bytes off disk and
+        died in ``pickle.loads(b"")`` (EOFError: Ran out of input).  Fixed
+        by re-priming the cache from the checkpoint's portable
+        ``proc_states`` at attach time (zero counted I/O).
+        """
+        return ReproCase(
+            config=ConformConfig(
+                p=2 if engine == "parallel" else 1,
+                D=2, B=8, b=16, M=4096, v=4,
+                workload="listrank", n=48,
+                engine=engine, backend=backend,
+                checkpoint=True, fast_io=True, context_cache=True,
+                storage="file", crash=True, crash_point=4, crash_seed=3,
+            ),
+            oracle="crash_resume",
+            message="recovery raised EOFError('Ran out of input')",
+        )
+
+    @pytest.mark.parametrize(
+        "engine,backend",
+        [("parallel", "inline"), ("parallel", "process"), ("sequential", "inline")],
+    )
+    def test_crash_resume_survives_cached_context_attach(self, engine, backend):
+        case = self.crash_resume_eof_case(engine, backend)
+        result = run_case(case.config)
+        assert not result.failures, [
+            (f.oracle, f.message) for f in result.failures
+        ]
+        assert result.checks["crash_resume"] >= 1
+
+    def test_crash_resume_eof_case_round_trips(self):
+        case = self.crash_resume_eof_case("parallel", "inline")
+        assert ReproCase.from_json(case.to_json()) == case
