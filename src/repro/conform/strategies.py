@@ -115,6 +115,7 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
         storage=rng.choices(
             ("memory", "file", "mmap"), weights=profile.storage_weights
         )[0],
+        io_overlap=rng.random() < 0.3,
         sim_seed=rng.randrange(1 << 16),
         fault=rng.choices(FAULT_KINDS, weights=profile.fault_weights)[0],
         fault_seed=rng.randrange(1 << 16),
@@ -198,6 +199,9 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
         d["backend"] = "inline"
     if d.get("storage") not in ("memory", "file", "mmap"):
         d["storage"] = "memory"
+    # Overlap is a no-op knob on the memory plane; fold it to the canonical
+    # form so describe()/shrinking treat it as one config, not two.
+    d["io_overlap"] = bool(d.get("io_overlap", False)) and d["storage"] != "memory"
 
     # -- fault plan implications --
     fault = d.get("fault", "none")

@@ -91,6 +91,7 @@ def _build_engine(
     storage_dir: str,
     crash: CrashPlan | None,
     max_recoveries: int = 8,
+    io_overlap: bool = False,
 ):
     """One engine over a fresh algorithm instance, storage plane attached."""
     alg = algorithm_factory()
@@ -101,6 +102,7 @@ def _build_engine(
         max_recoveries=max_recoveries,
         storage=storage,
         storage_dir=storage_dir,
+        io_overlap=io_overlap,
         crash=crash,
     )
     if machine.p > 1 or backend != "inline":
@@ -120,6 +122,7 @@ def explore(
     keep_rate: float = 0.5,
     backend: str = "inline",
     storage: str = "file",
+    io_overlap: bool = False,
     observer: Any = None,
     log: Callable[[str], None] | None = None,
 ) -> CrashCheckResult:
@@ -138,7 +141,7 @@ def explore(
 
     golden_out, golden_rep = _build_engine(
         algorithm_factory, machine, v, k, seed, backend, storage,
-        golden_dir, crash=None,
+        golden_dir, crash=None, io_overlap=io_overlap,
     ).run()
     checkpoints = golden_rep.faults.checkpoints_taken
     golden_summary = golden_rep.ledger.summary()
@@ -160,7 +163,7 @@ def explore(
         outcome = _explore_point(
             algorithm_factory, machine, v, k, seed, backend, storage,
             point_dir, plan, point, stage, golden_out, golden_summary,
-            observer, result,
+            observer, result, io_overlap,
         )
         result.outcomes.append(outcome)
         verdict = "ok  " if outcome.ok else "FAIL"
@@ -185,12 +188,13 @@ def _explore_point(
     golden_summary,
     observer,
     result,
+    io_overlap=False,
 ) -> CrashPointOutcome:
     """Crash at one point, scrub, recover, and compare against golden."""
     try:
         _build_engine(
             algorithm_factory, machine, v, k, seed, backend, storage,
-            point_dir, crash=plan,
+            point_dir, crash=plan, io_overlap=io_overlap,
         ).run()
     except HostCrash:
         pass
@@ -217,7 +221,7 @@ def _explore_point(
 
     engine = _build_engine(
         algorithm_factory, machine, v, k, seed, backend, storage,
-        point_dir, crash=None, max_recoveries=0,
+        point_dir, crash=None, max_recoveries=0, io_overlap=io_overlap,
     )
     try:
         if res.checkpoint is not None:

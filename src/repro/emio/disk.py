@@ -156,6 +156,20 @@ class Disk:
         if prev_present != (block is not None):
             self._occupied += 1 if not prev_present else -1
 
+    def _load_many(self, tracks: list[int]) -> list[Block | None]:
+        """Read several tracks at once, coalescing backend reads.
+
+        Storage planes that implement ``get_many`` (FileStorage/MmapStorage)
+        merge near-adjacent slot extents into single preads; others fall
+        back to per-track gets.  Access counters are the caller's business
+        (``DiskArray.read_batched`` charges per address either way).
+        """
+        get_many = getattr(self.storage, "get_many", None)
+        if get_many is not None:
+            return get_many(tracks)
+        get = self.storage.get
+        return [get(t) for t in tracks]
+
     def _store_many(self, items: list[tuple[int, Block | None]]) -> None:
         """Place several blocks at once, coalescing backend writes.
 

@@ -409,12 +409,20 @@ class DiskArray:
             # to round r (a round can never be closed by the D-item cap,
             # since it holds at most one item per disk and there are only D
             # disks), so it uses exactly max-per-disk-count rounds.
+            # Loads are grouped per disk and handed to _load_many, so
+            # file-backed planes coalesce one fetch's near-adjacent slot
+            # extents into single preads instead of one syscall per track.
             counts = [0] * self.D
-            out: list[Block | None] = []
             disks = self.disks
+            per_disk: list[list[int]] = [[] for _ in range(self.D)]
             for d, t in addrs:
                 counts[d] += 1
-                out.append(disks[d].storage.get(t))
+                per_disk[d].append(t)
+            loaded = [
+                iter(disks[d]._load_many(ts)) if ts else None
+                for d, ts in enumerate(per_disk)
+            ]
+            out: list[Block | None] = [next(loaded[d]) for d, _ in addrs]
             for d, c in enumerate(counts):
                 disks[d].reads += c
             self.parallel_ops += max(counts)

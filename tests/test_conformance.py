@@ -103,10 +103,14 @@ class TestEquivalentPlanes:
     def test_plain_config_gets_fastpath_and_storage_planes(self):
         planes = dict(equivalent_planes(small_config()))
         assert set(planes) == {
-            "primary", "fastpath", "file-storage", "vector-records"
+            "primary", "fastpath", "file-storage", "async-storage",
+            "vector-records",
         }
         assert planes["fastpath"].fast_io and planes["fastpath"].context_cache
         assert planes["file-storage"].storage == "file"
+        assert not planes["file-storage"].io_overlap
+        assert planes["async-storage"].storage == "file"
+        assert planes["async-storage"].io_overlap
         assert planes["vector-records"].records == "vector"
 
     def test_fast_config_gets_a_reference_plane(self):
@@ -114,7 +118,8 @@ class TestEquivalentPlanes:
             equivalent_planes(small_config(fast_io=True, context_cache=True))
         )
         assert set(planes) == {
-            "primary", "reference", "file-storage", "vector-records"
+            "primary", "reference", "file-storage", "async-storage",
+            "vector-records",
         }
         assert not planes["reference"].fast_io
 
@@ -123,7 +128,8 @@ class TestEquivalentPlanes:
                            fast_io=True)
         planes = dict(equivalent_planes(cfg))
         assert set(planes) == {
-            "primary", "reference", "fastpath", "file-storage", "vector-records"
+            "primary", "reference", "fastpath", "file-storage",
+            "async-storage", "vector-records",
         }
         assert planes["reference"].backend == "inline"
 
@@ -151,6 +157,18 @@ class TestEquivalentPlanes:
         # The file plane is only added when the primary is on memory; a
         # non-memory primary already exercises the storage differential.
         assert "file-storage" not in planes
+        # ... but it does get the overlap differential on its own plane.
+        assert planes["async-storage"].storage == "mmap"
+        assert planes["async-storage"].io_overlap
+
+    def test_overlap_config_differentiates_against_sync_plane(self):
+        planes = dict(equivalent_planes(
+            small_config(storage="file", io_overlap=True)
+        ))
+        assert planes["primary"].io_overlap
+        assert not planes["reference"].io_overlap
+        assert planes["async-storage"].storage == "file"
+        assert not planes["async-storage"].io_overlap
 
     def test_planes_never_flip_counted_knobs(self):
         cfg = small_config(p=2, v=4, engine="parallel", checkpoint=True)
@@ -171,8 +189,14 @@ class TestOracles:
         assert result.checks["lemma2_balance"] > 0
         assert result.checks["theorem1_io"] > 0
         # One equivalence check per non-primary plane: fastpath +
-        # file-storage + vector-records.
-        assert result.checks["plane_equivalence"] == 3
+        # file-storage + async-storage + vector-records.
+        assert result.checks["plane_equivalence"] == 4
+
+    def test_overlap_case_passes_all_oracles(self):
+        result = run_case(small_config(storage="file", io_overlap=True))
+        assert result.passed, [str(f) for f in result.failures]
+        # The async-storage differential plane flips overlap off.
+        assert result.checks["plane_equivalence"] >= 1
 
     def test_kill_case_exercises_resume_or_skip(self):
         cfg = small_config(fault="kill", checkpoint=True, dead_after=10)

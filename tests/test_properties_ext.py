@@ -139,3 +139,154 @@ def test_delaunay_circumcircles_empty(seed, n):
             if i in (a, b, c):
                 continue
             assert (q[0] - ux) ** 2 + (q[1] - uy) ** 2 >= r2 * (1 - 1e-7)
+
+
+# -- FileStorage free-list allocator (DESIGN §9, §12) ---------------------------
+#
+# The slot allocator is pure metadata: allocation never depends on written
+# bytes, so its transitions are identical on the synchronous and overlapped
+# planes.  Two angles: a model-based test through the public put/put_many/
+# discard/snapshot API, and a direct best-fit/coalescing check on the raw
+# _alloc/_release pair.
+
+
+def _check_free_list(stg, extra_extents=()):
+    """Structural invariants that must hold after *any* operation sequence:
+    paired free maps consistent, no extent overlap, everything below the
+    bump pointer, free runs fully coalesced and never touching the tail."""
+    free = sorted((base, size) for base, size in stg._free_start.items())
+    assert stg._free_end == {base + size: base for base, size in free}
+    covered = [(base, base + size, "free") for base, size in free]
+    for track, (base, nslots, _len, _gen) in stg._map.items():
+        covered.append((base, base + nslots, f"track {track}"))
+    for base, nslots in extra_extents:
+        covered.append((base, base + nslots, "raw alloc"))
+    covered.sort()
+    for (_alo, ahi, awho), (blo, _bhi, bwho) in zip(covered, covered[1:]):
+        assert ahi <= blo, f"extent overlap: {awho} vs {bwho}"
+    assert all(size > 0 for _base, size in free)
+    assert all(hi <= stg._next_slot for _lo, hi, _who in covered)
+    ends = {base + size for base, size in free}
+    assert not (ends & set(stg._free_start)), "adjacent free runs not merged"
+    assert stg._next_slot not in ends, "tail free run not returned to bump"
+
+
+@st.composite
+def _storage_ops(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 25))):
+        kind = draw(
+            st.sampled_from(["put", "put", "put_many", "delete", "discard",
+                             "snapshot"])
+        )
+        if kind == "put":
+            ops.append(("put", draw(st.integers(0, 9)), draw(st.integers(0, 120))))
+        elif kind == "put_many":
+            items = draw(
+                st.lists(
+                    st.tuples(st.integers(0, 9), st.integers(0, 120)),
+                    min_size=1,
+                    max_size=6,
+                )
+            )
+            ops.append(("put_many", items))
+        elif kind == "delete":
+            ops.append(("delete", draw(st.integers(0, 9))))
+        elif kind == "discard":
+            ops.append(("discard", draw(st.integers(0, 9))))
+        else:
+            ops.append(("snapshot",))
+    return ops
+
+
+@given(ops=_storage_ops(), overlap=st.booleans())
+@slow
+def test_file_storage_free_list_model(ops, overlap):
+    import os
+    import tempfile
+
+    from repro.emio.disk import Block
+    from repro.emio.storage import FileStorage
+
+    def block(track, size):
+        # Payload length scales with ``size`` so slot-run lengths vary and
+        # overwrites exercise the in-place / realloc split in _place().
+        return Block(records=list(range(track, track + size)))
+
+    with tempfile.TemporaryDirectory() as root:
+        stg = FileStorage(
+            os.path.join(root, "d0.track"), B=128, slot_bytes=64,
+            io_overlap=overlap, overlap_budget=1 << 16,
+        )
+        try:
+            model = {}
+            for op in ops:
+                if op[0] == "put":
+                    _kind, track, size = op
+                    stg.put(track, block(track, size))
+                    model[track] = list(range(track, track + size))
+                elif op[0] == "put_many":
+                    stg.put_many([(t, block(t, s)) for t, s in op[1]])
+                    for t, s in op[1]:
+                        model[t] = list(range(t, t + s))
+                elif op[0] == "delete":
+                    stg.put(op[1], None)
+                    model.pop(op[1], None)
+                elif op[0] == "discard":
+                    stg.discard(op[1])
+                    model.pop(op[1], None)
+                else:
+                    stg.snapshot()
+                _check_free_list(stg)
+            for track in range(10):
+                got = stg.get(track)
+                if track in model:
+                    assert got is not None and list(got.records) == model[track]
+                else:
+                    assert got is None
+        finally:
+            stg.close()
+
+
+@given(data=st.data())
+@slow
+def test_allocator_best_fit_and_coalescing(data):
+    import os
+    import tempfile
+
+    from repro.emio.storage import FileStorage
+
+    with tempfile.TemporaryDirectory() as root:
+        stg = FileStorage(os.path.join(root, "d0.track"), B=4, slot_bytes=64)
+        try:
+            live = []
+            for _ in range(data.draw(st.integers(1, 40))):
+                if live and data.draw(st.booleans()):
+                    idx = data.draw(st.integers(0, len(live) - 1))
+                    base, nslots = live.pop(idx)
+                    stg._release(base, nslots)
+                else:
+                    need = data.draw(st.integers(1, 5))
+                    fits = [
+                        (size, base)
+                        for base, size in stg._free_start.items()
+                        if size >= need
+                    ]
+                    tail = stg._next_slot
+                    base = stg._alloc(need)
+                    if fits:
+                        # Best fit: smallest sufficient run, lowest base on ties.
+                        assert base == min(fits)[1]
+                    else:
+                        assert base == tail, "bump pointer moved before alloc"
+                    live.append((base, need))
+                _check_free_list(stg, extra_extents=live)
+            for base, nslots in live:
+                stg._release(base, nslots)
+            _check_free_list(stg)
+            # Releasing everything must collapse to the empty heap: the
+            # neighbour-coalescing maps merge all runs and the tail trim
+            # hands the final run back to the bump pointer.
+            assert stg._free_start == {} and stg._next_slot == 0
+        finally:
+            stg.close()

@@ -1,0 +1,406 @@
+"""Golden + unit suite for the overlapped-I/O storage plane (DESIGN §12).
+
+The flusher pool moves bytes on a background thread, but the model charges
+I/O before any data moves, so ``io_overlap=True`` must be *byte-inert*:
+outputs, cost ledgers, IOTraces, checkpoint files, and crash semantics all
+identical to the synchronous plane.  The golden matrix here pins that over
+overlap on/off x engines x backends x file/mmap x crash injection; the unit
+tests pin the pool's own contracts — read-after-queued-write overlay,
+supersede, quiesce-before-fsync ordering, and shutdown on worker errors.
+"""
+
+import hashlib
+import os
+import threading
+
+import pytest
+
+from repro.emio.disk import Block
+from repro.emio.faults import CRASH_STAGES, HostCrash
+from repro.emio.storage import FileStorage, MmapStorage, StorageSpec
+from repro.emio.trace import IOTrace
+from repro.params import MachineParams
+
+from .test_fastpath_golden import FAST, build, golden, make_listrank, make_sort
+
+PLANES = ("file", "mmap")
+
+
+def blk(tag, n=4):
+    return Block(records=[tag] * n, dest=tag)
+
+
+def make_overlapped(impl, tmp_path, **kw):
+    kw.setdefault("slot_bytes", 64)
+    kw.setdefault("io_overlap", True)
+    return impl(tmp_path / f"{impl.__name__}.dat", B=4, **kw)
+
+
+# -- golden matrix ------------------------------------------------------------
+
+
+class TestGoldenMatrix:
+    @pytest.mark.parametrize("make", [make_sort, make_listrank])
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_sequential_overlap_equals_memory(self, make, plane):
+        ref = golden(build(make, "sequential"))
+        got = golden(build(make, "sequential", storage=plane, io_overlap=True))
+        assert got == ref
+
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_parallel_inline_overlap_equals_memory(self, plane):
+        ref = golden(build(make_sort, "parallel"))
+        got = golden(build(make_sort, "parallel", storage=plane, io_overlap=True))
+        assert got == ref
+
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_parallel_process_overlap_equals_memory(self, plane):
+        """Each worker owns a private flusher pool over its proc{i} subdir."""
+        ref = golden(build(make_sort, "parallel"))
+        got = golden(
+            build(make_sort, "parallel", backend="process", storage=plane,
+                  io_overlap=True)
+        )
+        assert got == ref
+
+    def test_overlap_with_fast_knobs_and_checkpointing(self):
+        ref = golden(build(make_sort, "sequential", checkpoint=True))
+        got = golden(
+            build(make_sort, "sequential", checkpoint=True, storage="file",
+                  io_overlap=True, **FAST)
+        )
+        assert got == ref
+
+    @pytest.mark.parametrize("plane", PLANES)
+    def test_iotrace_byte_identical(self, plane):
+        """The counted operation stream is overlap-independent."""
+        sims, traces = [], []
+        for kwargs in ({"storage": plane}, {"storage": plane, "io_overlap": True}):
+            sim = build(make_sort, "sequential", **kwargs)
+            traces.append(IOTrace.attach(sim.array))
+            sims.append(sim)
+        assert golden(sims[1]) == golden(sims[0])
+        sync_ops, async_ops = [
+            [(op.kind, op.disks, op.tracks, op.retry) for op in t.ops]
+            for t in traces
+        ]
+        assert async_ops == sync_ops
+        assert traces[0].counts() == traces[1].counts()
+
+    def test_checkpoint_files_byte_identical(self, tmp_path):
+        """After a checkpointed run, the storage root — track files, journal
+        generations, snapshots — is byte-for-byte the synchronous plane's:
+        supersede only drops writes fully covered by a later queued write,
+        so the settled platter image can never diverge."""
+        from repro.core.checkpoint import CheckpointJournal
+
+        def tree_digest(root):
+            """Per-file sha256; checkpoint blobs are normalized structurally
+            (they embed the absolute storage root, which must differ here)."""
+            digest = {}
+            journal = CheckpointJournal(root)
+            for gen in journal.generations():
+                ckpt = journal.load(gen)
+                refs = [dict(r, root="<root>") for r in ckpt.storage_refs]
+                digest[f"ckpt-{gen}"] = repr(
+                    {f: refs if f == "storage_refs" else getattr(ckpt, f)
+                     for f in ckpt.__dataclass_fields__}
+                )
+            for dirpath, _dirs, files in os.walk(root):
+                for name in files:
+                    if name.endswith(".ckpt"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    with open(path, "rb") as fh:
+                        digest[os.path.relpath(path, root)] = hashlib.sha256(
+                            fh.read()
+                        ).hexdigest()
+            return digest
+
+        roots = {}
+        for key, overlap in (("sync", False), ("async", True)):
+            root = tmp_path / key
+            sim = build(make_sort, "sequential", checkpoint=True,
+                        storage="file", storage_dir=str(root),
+                        io_overlap=overlap)
+            sim.run()
+            roots[key] = tree_digest(root)
+        assert roots["async"] == roots["sync"]
+
+    @pytest.mark.parametrize("stage_index", range(len(CRASH_STAGES)))
+    def test_crash_injection_identical_under_overlap(self, tmp_path, stage_index):
+        """One crash point per stage: the HostCrash, the scrubbed state, and
+        the recovery all match the synchronous plane (CrashyStorage logs at
+        submission time and damages a quiesced platter)."""
+        from repro.core.checkpoint import scrub
+        from repro.emio.faults import CrashPlan
+
+        expected = golden(build(make_sort, "sequential"))["outputs"]
+        results = {}
+        for key, overlap in (("sync", False), ("async", True)):
+            root = tmp_path / f"{key}{stage_index}"
+            plan = CrashPlan(seed=11, crash_point=stage_index)
+            sim = build(make_sort, "sequential", checkpoint=True,
+                        storage="file", storage_dir=str(root),
+                        io_overlap=overlap, crash=plan)
+            with pytest.raises(HostCrash):
+                sim.run()
+            res = scrub(str(root))
+            assert not res.quarantined, (key, res.errors)
+            fresh = build(make_sort, "sequential", checkpoint=True,
+                          storage="file", storage_dir=str(root),
+                          io_overlap=overlap)
+            if res.checkpoint is not None:
+                out, _rep = fresh.resume_from_checkpoint(res.checkpoint)
+                action = f"resume@{res.checkpoint.step}"
+            else:
+                out, _rep = fresh.run()
+                action = "restart"
+            assert out == expected, key
+            results[key] = (action, res.extents_verified)
+        assert results["async"] == results["sync"]
+
+
+# -- pool unit contracts ------------------------------------------------------
+
+
+class TestWriteBehindQueue:
+    @pytest.mark.parametrize("impl", [FileStorage, MmapStorage])
+    def test_read_after_queued_write(self, impl, tmp_path):
+        """A read while the write sits in the queue returns the queued image,
+        not the stale platter bytes."""
+        st = make_overlapped(impl, tmp_path)
+        try:
+            st.put(0, blk(1))
+            st.sync()  # settle the first image on the platter
+            st._pool.gate.clear()  # stall the worker before any transfer
+            st.put(0, blk(2))
+            assert st.get(0).records == [2] * 4
+            assert st.peek(0).records == [2] * 4
+        finally:
+            st._pool.gate.set()
+            st.close()
+
+    def test_supersede_drops_fully_covered_queued_writes(self, tmp_path):
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            pool = st._pool
+            pool.gate.clear()
+            st.put(0, blk(1))
+            st.put(0, blk(2))
+            st.put(0, blk(3))
+            # Same track, same payload length -> same slot extent: the two
+            # stale images are dropped, one write reaches the platter.
+            off, nbytes = 0, st.slot_bytes
+            assert len(pool.pending_in(off, nbytes)) == 1
+        finally:
+            pool.gate.set()
+            st.close()
+
+    def test_partially_covered_writes_all_land_in_order(self, tmp_path):
+        """put_many merges adjacent slots into one image; a later single-slot
+        write only partially covers it, so both must land, in sequence."""
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            st._pool.gate.clear()
+            st.put_many([(0, blk(1)), (1, blk(2))])
+            st.put(1, blk(9))
+            st._pool.gate.set()
+            st.sync()
+            assert st.get(0).records == [1] * 4
+            assert st.get(1).records == [9] * 4
+        finally:
+            st.close()
+
+    def test_overlay_composes_reads_of_merged_spans(self, tmp_path):
+        """get_many's coalesced pread overlaps a queued write: the overlay
+        must splice the queued image into the span."""
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            st.put_many([(t, blk(t)) for t in range(8)])
+            st.sync()
+            st._pool.gate.clear()
+            st.put(3, blk(77))
+            out = st.get_many(list(range(8)))
+            assert [b.records[0] for b in out] == [0, 1, 2, 77, 4, 5, 6, 7]
+        finally:
+            st._pool.gate.set()
+            st.close()
+
+
+class TestQuiesceOrdering:
+    def test_sync_quiesces_before_fsync(self, tmp_path, monkeypatch):
+        """The fsync barrier must observe a drained queue — otherwise the
+        durability point would not cover queued writes."""
+        import repro.emio.storage as storage_mod
+
+        st = make_overlapped(FileStorage, tmp_path)
+        events = []
+        real_quiesce = st._pool.quiesce
+        real_fsync = os.fsync
+
+        def logged_quiesce():
+            real_quiesce()
+            events.append("quiesce")
+
+        def logged_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        st._pool.quiesce = logged_quiesce
+        monkeypatch.setattr(storage_mod.os, "fsync", logged_fsync)
+        try:
+            st.put(0, blk(5))
+            st.sync()
+            assert events == ["quiesce", "fsync"]
+            # The queued frame is on the platter (not just in the overlay).
+            raw = st._platter_read(0, st.slot_bytes)
+            assert raw[:4] != b"\x00\x00\x00\x00"
+            assert st._pool.pending_in(0, st.slot_bytes) == []
+        finally:
+            st.close()
+
+    def test_snapshot_and_restore_quiesce(self, tmp_path):
+        """COW pins must reference platter-settled extents, and restore must
+        not let queued post-snapshot writes land afterwards."""
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            st.put(0, blk(1))
+            snap = st.snapshot()  # quiesces: put(0) settled
+            st._pool.gate.clear()
+            st.put(0, blk(2))
+            st._pool.gate.set()
+            st.restore(snap)  # quiesces: put(2)'s image settled, then undone
+            st.sync()
+            assert st.get(0).records == [1] * 4
+        finally:
+            st._pool.gate.set()
+            st.close()
+
+
+class TestPoolShutdown:
+    def test_worker_error_surfaces_on_sync(self, tmp_path):
+        st = make_overlapped(FileStorage, tmp_path)
+        boom = OSError("platter gone")
+
+        def broken_write(offset, data):
+            raise boom
+
+        st._platter_write = broken_write
+        st.put(0, blk(1))
+        with pytest.raises(OSError, match="platter gone"):
+            st.sync()
+        # The dead pool cleared its queues; close still closes the fd (it
+        # re-raises the stored error exactly once more).
+        with pytest.raises(OSError, match="platter gone"):
+            st.close()
+        assert st._closed
+
+    def test_worker_error_unblocks_backpressure(self, tmp_path):
+        """A submitter waiting on a full queue must not hang when the worker
+        dies: the error wakes it and propagates."""
+        st = make_overlapped(FileStorage, tmp_path, overlap_budget=1 << 16)
+        slots = (1 << 16) // st.slot_bytes + 8
+
+        def broken_write(offset, data):
+            raise OSError("dead drive")
+
+        st._platter_write = broken_write
+        with pytest.raises(OSError, match="dead drive"):
+            for t in range(slots):
+                st.put(t, blk(t % 100))
+            st.sync()
+        with pytest.raises(OSError):
+            st.close()
+
+    def test_close_joins_worker_thread(self, tmp_path):
+        st = make_overlapped(FileStorage, tmp_path)
+        thread = st._pool._thread
+        st.put(0, blk(1))
+        st.close()
+        assert not thread.is_alive()
+
+
+class TestReadahead:
+    def test_sequential_streak_fills_cache(self, tmp_path):
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            st.put_many([(t, blk(t)) for t in range(32)])
+            st.sync()
+            for t in range(8):
+                assert st.get(t).records == [t] * 4
+            st._pool.quiesce()
+            # The streak armed readahead past the cursor...
+            assert st._pool._ra_cache
+            # ...and cached frames decode to the correct blocks.
+            for t in range(8, 32):
+                assert st.get(t).records == [t] * 4
+        finally:
+            st.close()
+
+    def test_cache_invalidated_by_writes(self, tmp_path):
+        """Any map mutation fences the cache: a readahead filled before an
+        overwrite must never satisfy a read after it."""
+        st = make_overlapped(FileStorage, tmp_path)
+        try:
+            st.put_many([(t, blk(t)) for t in range(16)])
+            st.sync()
+            for t in range(4):
+                st.get(t)
+            st._pool.quiesce()
+            st.put(10, blk(99))
+            assert not st._pool._ra_cache
+            assert st.get(10).records == [99] * 4
+        finally:
+            st.close()
+
+    def test_budget_bounds_buffered_bytes(self, tmp_path):
+        st = make_overlapped(FileStorage, tmp_path, overlap_budget=1 << 16)
+        try:
+            pool = st._pool
+            n = 4 * ((1 << 16) // st.slot_bytes)
+            st.put_many([(t, blk(t % 100)) for t in range(n)])
+            st.sync()
+            for t in range(n):
+                st.get(t)
+                assert pool._ra_bytes <= pool.budget
+        finally:
+            st.close()
+
+
+class TestSpecPlumbing:
+    def test_with_overlap_round_trips_through_for_proc(self, tmp_path):
+        spec = StorageSpec.create("file", tmp_path / "root").with_overlap(1 << 18)
+        sub = spec.for_proc(2)
+        assert sub.io_overlap and sub.overlap_budget == 1 << 18
+        st = sub.make(0, B=4)
+        try:
+            assert st._pool is not None
+            assert st._pool.budget == 1 << 18
+        finally:
+            st.close()
+
+    def test_memory_spec_ignores_overlap(self):
+        spec = StorageSpec().with_overlap(1 << 18)
+        assert not spec.io_overlap
+
+    def test_engine_threads_budget_from_machine(self):
+        from repro.core.seqsim import SequentialEMSimulation
+        from repro.core.simulator import build_params
+        from repro.emio.storage import default_overlap_budget
+
+        alg, v = make_sort()
+        machine = MachineParams(p=1, M=1 << 18, D=4, B=16, b=32)
+        sim = SequentialEMSimulation(
+            alg, build_params(alg, machine, v=v), storage="file",
+            io_overlap=True,
+        )
+        try:
+            expected = default_overlap_budget(machine.M, machine.D)
+            assert sim.storage_spec.io_overlap
+            assert sim.storage_spec.overlap_budget == expected
+            for disk in sim.array.disks:
+                assert disk.storage._pool.budget == expected
+        finally:
+            sim.array.close_storage()
+            sim.storage_spec.cleanup()

@@ -84,6 +84,36 @@ class TestTracemallocBudget:
             f"peak heap {peak} exceeds 1/4 of the {serialized}-byte dataset"
         )
 
+    def test_overlapped_plane_peak_heap_bounded_by_budget(self):
+        """The write-behind queues and readahead cache are heap the sync
+        plane does not have; DESIGN §12 says they count against the M
+        budget.  The out-of-core bound therefore only relaxes by the
+        engine's total overlap budget (D drives x per-drive budget) — the
+        queues must never silently buffer O(dataset)."""
+        import tracemalloc
+
+        from repro.emio.storage import default_overlap_budget
+
+        alg = OutOfCoreSort(self.N, self.V, seed=SEED, reclen=RECLEN)
+        machine = _machine(alg)
+        serialized = serialized_size(SEED, self.N, self.V, RECLEN)
+        total_budget = machine.D * default_overlap_budget(machine.M, machine.D)
+        assert 4 * total_budget <= serialized, (
+            "budget so large the bound below would be vacuous"
+        )
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        out, _report = simulate(
+            alg, machine, v=self.V, seed=SEED, storage="file", io_overlap=True
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        verify_digests(out, SEED, self.N, self.V, RECLEN)
+        assert 4 * (peak - total_budget) <= serialized, (
+            f"peak heap {peak} exceeds 1/4 of the {serialized}-byte dataset "
+            f"plus the {total_budget}-byte overlap budget"
+        )
+
 
 _RSS_CHILD = textwrap.dedent("""
     import resource, sys
@@ -134,5 +164,75 @@ class TestRlimitCap:
 
     def test_memory_plane_violates_same_cap(self):
         r = self._run("memory")
+        assert r.returncode != 0
+        assert "MemoryError" in r.stderr
+
+
+_QUEUE_CHILD = textwrap.dedent("""
+    import os, resource, sys, time
+
+    def vmsize():
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmSize:"):
+                    return int(line.split()[1]) * 1024
+
+    from repro.emio.storage import FileStorage
+
+    budget = int(sys.argv[1])
+    root = sys.argv[2]
+    stg = FileStorage(os.path.join(root, "d0.track"), B=16,
+                      slot_bytes=1 << 14, io_overlap=True,
+                      overlap_budget=budget)
+    # A deliberately slow platter: the submitter outpaces the flusher, so
+    # queued bytes pile up unless backpressure throttles the submitter.
+    raw = stg._platter_write
+    def slow_write(offset, data):
+        time.sleep(0.001)
+        raw(offset, data)
+    stg._platter_write = slow_write
+    cap = vmsize() + (24 << 20)
+    resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+    nbytes = 16 << 10
+    for i in range(3000):  # 48 MiB submitted, double the address-space cap
+        # A fresh buffer per write: a shared object would alias in the
+        # queue and hide the growth this test exists to measure.
+        stg._write_at(i * nbytes, bytes([i & 0xFF]) * nbytes)
+    stg.sync()
+    stg.close()
+    print("COMPLETED")
+""")
+
+
+@pytest.mark.skipif(sys.platform != "linux", reason="RLIMIT_AS semantics")
+class TestWriteBehindQueueBounded:
+    """Regression for the overlapped plane's failure mode: a write-behind
+    queue with no backpressure buffers the whole write stream in heap.
+
+    The same slow-platter write storm runs twice under one address-space
+    cap; only the overlap budget differs.  The bounded (default-sized)
+    queue throttles the submitter and completes; the effectively unbounded
+    queue must blow through the cap with ``MemoryError`` — proving the
+    budget, not luck, is what bounds the buffering.
+    """
+
+    def _run(self, budget, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        return subprocess.run(
+            [sys.executable, "-c", _QUEUE_CHILD, str(budget), str(tmp_path)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+
+    def test_bounded_queue_completes_under_cap(self, tmp_path):
+        r = self._run(1 << 20, tmp_path)
+        assert r.returncode == 0, r.stderr
+        assert "COMPLETED" in r.stdout
+
+    def test_unbounded_queue_violates_same_cap(self, tmp_path):
+        r = self._run(1 << 40, tmp_path)
         assert r.returncode != 0
         assert "MemoryError" in r.stderr
