@@ -323,6 +323,47 @@ def cmd_conform(args) -> int:
     return 1
 
 
+def cmd_bakeoff(args) -> int:
+    """Counted-cost competitor bake-off (see :mod:`repro.bakeoff`)."""
+    import json
+
+    from .bakeoff import format_table, run_sweep, validate_bakeoff_dict
+
+    payload = run_sweep(
+        quick=args.quick,
+        backend=args.backend,
+        storage=args.storage,
+        p_cgm=args.procs,
+    )
+    validate_bakeoff_dict(payload)
+    headers = ["task", "n", "M", "B", "D", "mode"] + list(payload["engines"])
+    rows = format_table(payload)
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    print(
+        f"bakeoff: {payload['configs']} configs x {len(payload['tasks'])} "
+        f"tasks, backend={payload['backend']} storage={payload['storage']} "
+        f"p_cgm={payload['p_cgm']}"
+    )
+    if payload["violations"] or payload["mismatches"]:
+        for msg in payload["mismatches"]:
+            print(f"  OUTPUT MISMATCH: {msg}")
+        for msg in payload["violations"]:
+            print(f"  BOUND VIOLATION: {msg}")
+        return 1
+    print("  all outputs byte-identical to reference; zero bound violations")
+    return 0
+
+
 def cmd_crashcheck(args) -> int:
     """Exhaustive crash-point exploration (see :mod:`repro.crashcheck`)."""
     import tempfile
@@ -552,6 +593,28 @@ def main(argv=None) -> int:
     p.add_argument("--verbose", action="store_true",
                    help="print every case as it runs")
     p.set_defaults(func=cmd_conform, trace_out=None, jsonl_out=None,
+                   metrics=False)
+
+    p = sub.add_parser(
+        "bakeoff",
+        help="counted-cost competitor bake-off: modern PDM sorters and the "
+             "buffer tree vs the simulated CGM engine on identical machines",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="run the small CI subset of the sweep")
+    p.add_argument("--backend", choices=("inline", "process"),
+                   default="inline",
+                   help="execution backend for the CGM side")
+    p.add_argument("--storage", choices=("memory", "file", "mmap"),
+                   default="memory",
+                   help="storage plane for every engine (counted-cost "
+                        "invisible)")
+    p.add_argument("--procs", type=int, default=1,
+                   help="real processors for the CGM side (competitors are "
+                        "sequential by definition)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the BENCH_BAKEOFF JSON payload here")
+    p.set_defaults(func=cmd_bakeoff, trace_out=None, jsonl_out=None,
                    metrics=False)
 
     p = sub.add_parser(

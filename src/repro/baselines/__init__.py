@@ -1,6 +1,10 @@
-"""Baselines: the "previous results" column of Table 1, on the same substrate.
+"""Baselines: Table 1's "previous results" column plus the modern rivals,
+all on the same counted substrate.
 
-* :class:`EMMergeSort` — classical sequential external mergesort.
+1997-era opponents:
+
+* :class:`EMMergeSort` — classical sequential external mergesort
+  (superblock-striped, fan-in ``M/(DB) - 1``).
 * :class:`NaiveEMPermute` / :class:`SortBasedEMPermute` — unblocked and
   sort-based external permutation.
 * :class:`EMTranspose` — sequential external matrix transpose.
@@ -8,18 +12,51 @@
   (Chiang et al.): one external sort per PRAM step.
 * :class:`SibeynKaufmannSimulation` — the concurrent BSP-to-EM simulation
   without blocking-factor or multi-disk support.
+
+Modern rivals (PAPERS.md; the bake-off competitors):
+
+* :class:`KWayMergeSort` — textbook ``M/B``-way external merge sort.
+* :class:`Guidesort` — Hagerup's guide-sequence PDM merge sort.
+* :class:`BufferTree` / :class:`BufferTreePQ` / :class:`BufferTreeSort` —
+  Arge's buffer tree and the bulk priority queue built on it.
+
+``SORTING_BASELINES`` is the registry of counted-cost sorters sharing the
+``cls(machine, key=None, *, storage=None, fast_io=False)`` constructor and
+the ``sort(data) -> (result, stats)`` / ``predicted_io_ops(n)`` contract;
+registering a sorter here auto-enrolls it in ``tests/test_baselines.py``,
+the conform fuzzer's workload pool and the ``repro bakeoff`` sweep.
 """
 
+from .buffertree import BufferTree, BufferTreePQ, BufferTreeSort, BufferTreeStats
 from .empermute import NaiveEMPermute, PermuteStats, SortBasedEMPermute
 from .emsearch import EMBatchedSearch, SearchStats
+from .emmergesort import KWayMergeSort, KWayStats
 from .emsort import EMMergeSort, EMSortStats
 from .emtranspose import EMTranspose
+from .guidesort import Guidesort, GuidesortStats
 from .pramsim import EMPRAMSimulator, PRAMListRanking, PRAMStats
 from .sibeyn import SibeynKaufmannSimulation, SibeynStats
+from .striping import StripedFile, baseline_array, open_array
+
+#: name -> class for every counted-cost external sorter on the shared contract
+SORTING_BASELINES = {
+    "emsort": EMMergeSort,
+    "emmergesort": KWayMergeSort,
+    "guidesort": Guidesort,
+    "buffertree": BufferTreeSort,
+}
 
 __all__ = [
     "EMMergeSort",
     "EMSortStats",
+    "KWayMergeSort",
+    "KWayStats",
+    "Guidesort",
+    "GuidesortStats",
+    "BufferTree",
+    "BufferTreePQ",
+    "BufferTreeSort",
+    "BufferTreeStats",
     "NaiveEMPermute",
     "SortBasedEMPermute",
     "PermuteStats",
@@ -31,4 +68,8 @@ __all__ = [
     "PRAMStats",
     "SibeynKaufmannSimulation",
     "SibeynStats",
+    "SORTING_BASELINES",
+    "StripedFile",
+    "baseline_array",
+    "open_array",
 ]

@@ -24,7 +24,7 @@ from ..bsp.program import BSPAlgorithm
 from ..emio.faults import FaultPlan, RetryPolicy
 from ..params import MachineParams
 
-__all__ = ["ConformConfig", "WORKLOADS", "FAULT_KINDS"]
+__all__ = ["ConformConfig", "WORKLOADS", "BASELINE_WORKLOADS", "FAULT_KINDS"]
 
 #: Fuzzable workloads: one representative per communication pattern —
 #: sample sort (splitter broadcast + all-to-all), permutation (pure
@@ -32,6 +32,14 @@ __all__ = ["ConformConfig", "WORKLOADS", "FAULT_KINDS"]
 #: (pointer-jumping, superstep count grows with n), matrix transpose
 #: (structured all-to-all).
 WORKLOADS = ("sort", "permute", "prefix", "listrank", "transpose")
+
+#: Competitor-sorter workloads: each runs one of the counted-cost external
+#: sorting baselines (``repro.baselines.SORTING_BASELINES``) on the same
+#: DiskArray substrate instead of a CGM simulation.  They share the config
+#: schema but fold the CGM-only axes (``v``, engines, backends, faults,
+#: crashes, record planes) to their trivial values — see
+#: ``strategies._repair_baseline``.
+BASELINE_WORKLOADS = ("guidesort", "emmergesort", "buffertree")
 
 #: Fault axes: ``none`` (healthy machine), ``transient`` (retriable
 #: read/write errors, detected corruption, latency spikes), ``kill`` (one
@@ -108,6 +116,34 @@ class ConformConfig:
             G=self.G, g=self.g, L=self.L,
         )
 
+    @property
+    def is_baseline(self) -> bool:
+        """Whether this config runs a competitor sorter, not a CGM workload."""
+        return self.workload in BASELINE_WORKLOADS
+
+    def baseline_input(self) -> list[int]:
+        """The deterministic input of a competitor-sorter config."""
+        from .. import workloads as wl
+
+        return [int(x) for x in wl.uniform_keys(self.n, seed=self.data_seed)]
+
+    def baseline_sorter(self, *, storage: str | None = None,
+                        fast_io: bool | None = None):
+        """A fresh competitor sorter over this config's machine.
+
+        ``storage``/``fast_io`` override the config's own plane — the runner
+        uses that to build the differential planes that must charge identical
+        counted I/O.
+        """
+        from ..baselines import SORTING_BASELINES
+
+        cls = SORTING_BASELINES[self.workload]
+        return cls(
+            self.machine(),
+            storage=self.storage if storage is None else storage,
+            fast_io=self.fast_io if fast_io is None else fast_io,
+        )
+
     def algorithm(self) -> BSPAlgorithm:
         """A fresh algorithm instance over this config's deterministic input."""
         alg = self._build_algorithm()
@@ -141,6 +177,11 @@ class ConformConfig:
 
             r, c = v, n // v
             return CGMMatrixTranspose(wl.matrix_entries(r, c, seed=seed), r, c, v)
+        if self.workload in BASELINE_WORKLOADS:
+            raise ValueError(
+                f"workload {self.workload!r} is a competitor sorter, not a "
+                "CGM algorithm; use baseline_sorter()/baseline_input()"
+            )
         raise ValueError(f"unknown workload {self.workload!r}")
 
     def params(self):

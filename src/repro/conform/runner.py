@@ -136,6 +136,9 @@ def _build_engine(
 def run_case(config: ConformConfig) -> CaseResult:
     """Execute ``config`` on every equivalent plane and apply the oracles."""
     result = CaseResult(config=config)
+    if config.is_baseline:
+        _run_baseline_case(config, result)
+        return result
     try:
         reference_out, _ledger = run_reference(config.algorithm(), config.v)
     except Exception as exc:  # noqa: BLE001 - any crash is a finding
@@ -181,6 +184,86 @@ def run_case(config: ConformConfig) -> CaseResult:
         result.checks["plane_equivalence"] += len(result.records) - 1
         result.failures.extend(check_plane_equivalence(result.records))
     return result
+
+
+def _run_baseline_case(config: ConformConfig, result: CaseResult) -> None:
+    """Differential + bound oracles for the competitor-sorter workloads.
+
+    The same counted-cost sorter runs on three planes over one deterministic
+    input: the config's own ``(storage, fast_io)`` plane, the reference
+    plane (memory storage, fast paths off), and the file plane.  Every
+    plane must return exactly the sorted reference (``output_vs_reference``)
+    and all planes must charge *identical* parallel I/O — storage kind and
+    ``fast_io`` are counted-cost invisible for competitors just as for the
+    simulation (``plane_equivalence``).  The primary plane's measured cost
+    must also respect the competitor's closed-form ``predicted_io_ops``
+    bound; that verdict is filed under ``theorem1_io`` so triage and
+    shrinking treat bound violations uniformly across workloads.
+    """
+    import pickle
+
+    data = config.baseline_input()
+    want = pickle.dumps(sorted(data))
+    planes = [
+        ("primary", config.storage, config.fast_io),
+        ("reference", "memory", False),
+        ("file-storage", "file", config.fast_io),
+    ]
+    costs: dict[str, int] = {}
+    for key, storage, fast_io in planes:
+        if key != "primary" and (storage, fast_io) == (
+            config.storage, config.fast_io
+        ):
+            continue  # identical to the primary plane; nothing differential
+        sorter = config.baseline_sorter(storage=storage, fast_io=fast_io)
+        try:
+            out, stats = sorter.sort(list(data))
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            result.failures.append(
+                OracleFailure("no_crash", f"plane {key}: raised {exc!r}")
+            )
+            continue
+        result.checks["output_vs_reference"] += 1
+        if pickle.dumps(list(out)) != want:
+            result.failures.append(
+                OracleFailure(
+                    "output_vs_reference",
+                    f"plane {key}: {config.workload} output differs from the "
+                    f"sorted reference (n={config.n})",
+                )
+            )
+        costs[key] = stats.io_ops
+        if key == "primary":
+            bound = sorter.predicted_io_ops(config.n)
+            result.checks["theorem1_io"] += 1
+            if stats.io_ops > bound:
+                result.failures.append(
+                    OracleFailure(
+                        "theorem1_io",
+                        f"{config.workload}: measured {stats.io_ops} parallel "
+                        f"I/O ops exceed the closed-form bound {bound:g} "
+                        f"(n={config.n} M={config.M} D={config.D} B={config.B})",
+                    )
+                )
+            mismatches = getattr(stats, "guide_mismatches", 0)
+            if mismatches:
+                result.failures.append(
+                    OracleFailure(
+                        "plane_equivalence",
+                        f"{config.workload}: prefetch schedule disagreed with "
+                        f"consumption order {mismatches} times",
+                    )
+                )
+    if len(costs) >= 2:
+        result.checks["plane_equivalence"] += len(costs) - 1
+        if len(set(costs.values())) > 1:
+            result.failures.append(
+                OracleFailure(
+                    "plane_equivalence",
+                    f"{config.workload}: counted I/O differs across "
+                    f"storage/fast-path planes: {costs}",
+                )
+            )
 
 
 def _run_crash_case(

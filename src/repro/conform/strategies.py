@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Any
 
-from .config import FAULT_KINDS, WORKLOADS, ConformConfig
+from .config import BASELINE_WORKLOADS, FAULT_KINDS, WORKLOADS, ConformConfig
 
 __all__ = ["StrategyProfile", "DEFAULT", "QUICK", "random_config", "repair"]
 
@@ -54,6 +54,13 @@ class StrategyProfile:
     #: Fraction of configs drawn on the vectorized record plane (repair
     #: folds it back to ``"object"`` for workloads without the mode).
     vector_rate: float = 0.35
+    #: Competitor-sorter workload pool (``repro.baselines`` registry names);
+    #: drawn *instead of* a CGM workload at ``baseline_rate``.
+    baselines: tuple[str, ...] = BASELINE_WORKLOADS
+    #: Fraction of configs redirected to a competitor sorter.  Their repair
+    #: folds the CGM-only axes away, leaving (n, M, D, B, storage, fast_io)
+    #: as the live axes.
+    baseline_rate: float = 0.12
 
 
 DEFAULT = StrategyProfile()
@@ -93,7 +100,7 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
     ):
         backend = "process"
     B = rng.choice(profile.B_choices)
-    return dict(
+    d = dict(
         p=p,
         M=rng.randrange(64, 1 << 14),
         D=rng.randrange(1, profile.D_max + 1),
@@ -127,6 +134,11 @@ def _draw(rng: random.Random, profile: StrategyProfile) -> dict[str, Any]:
         crash_seed=rng.randrange(1 << 16),
         records="vector" if rng.random() < profile.vector_rate else "object",
     )
+    # Competitor sorters replace the CGM workload; the rest of the draw is
+    # reused (repair folds the axes they don't have).
+    if profile.baselines and rng.random() < profile.baseline_rate:
+        d["workload"] = rng.choice(profile.baselines)
+    return d
 
 
 def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
@@ -146,6 +158,10 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
     d.update(p=p, D=D, B=B, b=b)
     for cost in ("G", "g", "L"):
         d[cost] = max(0.0, float(d.get(cost, 1.0)))
+
+    # -- competitor sorters: their own (much smaller) admissible set --
+    if d.get("workload") in BASELINE_WORKLOADS:
+        return _repair_baseline(d)
 
     # -- virtual machine: one whole group per real processor needs p | v --
     v = max(1, int(d.get("v", 1)))
@@ -231,4 +247,38 @@ def repair(raw: dict[str, Any] | ConformConfig) -> ConformConfig:
 
     cfg = ConformConfig.from_dict(d)
     cfg.params()  # admissibility proof; raises ParameterError on a repair bug
+    return cfg
+
+
+def _repair_baseline(d: dict[str, Any]) -> ConformConfig:
+    """Project a draw onto the competitor-sorter (baseline) plane.
+
+    Competitors are sequential single-processor programs charging I/O
+    through the same counted :class:`~repro.emio.disks.DiskArray`, so the
+    CGM-only axes — virtual processors, engines, backends, checkpoints,
+    faults, crashes, record planes — fold to their trivial values.  The
+    live axes are ``(workload, n, data_seed, M, D, B, storage, fast_io)``.
+    The machine shape (``p``/``D``/``B``/``b``/costs) is already normalized
+    by :func:`repair` before it dispatches here.
+    """
+    D, B = d["D"], d["B"]
+    d.update(
+        p=1, v=1, k=None,
+        n=max(1, int(d.get("n", 8))),
+        engine="sequential", backend="inline",
+        context_cache=False, checkpoint=False,
+        io_overlap=False, crash=False, fault="none",
+        records="object",
+        # One block per disk plus working headroom; every competitor sizes
+        # its buffers defensively below this but the bound formulas assume
+        # at least a couple of blocks of memory.
+        M=max(int(d.get("M", 0)), 2 * D * B),
+    )
+    if d.get("storage") not in ("memory", "file", "mmap"):
+        d["storage"] = "memory"
+    d["crash_point"] = max(0, int(d.get("crash_point", 0)))
+    d["crash_seed"] = int(d.get("crash_seed", 0))
+    cfg = ConformConfig.from_dict(d)
+    cfg.machine()  # validates the machine tuple
+    cfg.baseline_sorter()  # admissibility proof for the competitor plane
     return cfg

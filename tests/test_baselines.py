@@ -1,9 +1,17 @@
-"""Tests for the baseline EM algorithms (S11)."""
+"""Tests for the baseline EM algorithms (S11).
+
+Every sorter in ``repro.baselines.SORTING_BASELINES`` shares one
+constructor/contract, so :class:`TestSortingBaselines` parametrizes over
+the registry — registering a new competitor auto-enrolls it in the full
+correctness matrix (edge sizes, custom keys, bound compliance, storage and
+fast-path plane invisibility) with zero test edits.
+"""
 
 import pytest
 
 from repro import workloads
 from repro.baselines import (
+    SORTING_BASELINES,
     EMMergeSort,
     EMPRAMSimulator,
     EMTranspose,
@@ -18,13 +26,53 @@ from repro.params import MachineParams
 MACHINE = MachineParams(p=1, M=256, D=2, B=16, b=16)
 
 
-class TestEMMergeSort:
+@pytest.fixture(params=sorted(SORTING_BASELINES))
+def sorter_cls(request):
+    """Each registered counted-cost sorter, by registry name."""
+    return SORTING_BASELINES[request.param]
+
+
+class TestSortingBaselines:
+    """The shared contract every registered competitor must satisfy."""
+
     @pytest.mark.parametrize("n", [0, 1, 15, 16, 17, 100, 1000])
-    def test_sorts(self, n):
+    def test_sorts(self, sorter_cls, n):
         data = workloads.uniform_keys(n, seed=n)
-        out, stats = EMMergeSort(MACHINE).sort(data)
+        out, stats = sorter_cls(MACHINE).sort(data)
         assert out == sorted(data)
         assert stats.io_ops > 0 or n == 0
+
+    def test_with_key(self, sorter_cls):
+        data = [(x % 7, x) for x in range(200)]
+        out, _stats = sorter_cls(MACHINE, key=lambda t: t[0]).sort(data)
+        assert [t[0] for t in out] == sorted(t[0] for t in data)
+
+    @pytest.mark.parametrize("n", [64, 555, 1000, 4096])
+    def test_io_within_closed_form_bound(self, sorter_cls, n):
+        sorter = sorter_cls(MACHINE)
+        _, stats = sorter.sort(workloads.uniform_keys(n, seed=2))
+        assert 0 < stats.io_ops <= sorter.predicted_io_ops(n)
+
+    def test_storage_and_fast_planes_are_counted_invisible(self, sorter_cls):
+        data = workloads.uniform_keys(300, seed=4)
+        baseline = None
+        for storage in ("memory", "file"):
+            for fast_io in (False, True):
+                out, stats = sorter_cls(
+                    MACHINE, storage=storage, fast_io=fast_io
+                ).sort(data)
+                assert out == sorted(data)
+                if baseline is None:
+                    baseline = stats.io_ops
+                assert stats.io_ops == baseline, (storage, fast_io)
+
+    def test_rejects_multiprocessor(self, sorter_cls):
+        with pytest.raises(ValueError):
+            sorter_cls(MachineParams(p=2, M=256, D=1, B=16))
+
+
+class TestEMMergeSortShape:
+    """EMMergeSort-specific cost-shape claims (not part of the contract)."""
 
     def test_multiple_merge_passes(self):
         # n >> M with small fan-in forces several passes.
@@ -33,11 +81,6 @@ class TestEMMergeSort:
         out, stats = EMMergeSort(machine).sort(data)
         assert out == sorted(data)
         assert stats.merge_passes >= 2
-
-    def test_with_key(self):
-        data = [(x % 7, x) for x in range(200)]
-        out, stats = EMMergeSort(MACHINE, key=lambda t: t[0]).sort(data)
-        assert [t[0] for t in out] == sorted(t[0] for t in data)
 
     def test_io_near_prediction(self):
         sorter = EMMergeSort(MACHINE)
@@ -52,10 +95,6 @@ class TestEMMergeSort:
         _, s2 = sorter.sort(workloads.uniform_keys(4096, seed=3))
         # 4x data: at least 4x I/O, at most ~6x (one extra pass).
         assert 3.5 * s1.io_ops <= s2.io_ops <= 8 * s1.io_ops
-
-    def test_rejects_multiprocessor(self):
-        with pytest.raises(ValueError):
-            EMMergeSort(MachineParams(p=2, M=256, D=1, B=16))
 
 
 class TestPermutes:

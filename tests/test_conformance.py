@@ -26,6 +26,7 @@ from repro.conform import (
     shrink,
 )
 from repro.conform.case import SCHEMA_VERSION
+from repro.conform.config import BASELINE_WORKLOADS
 from repro.conform.oracles import (
     canonical_record,
     check_outputs,
@@ -54,6 +55,16 @@ class TestRepair:
     def test_random_draws_are_admissible(self):
         for index in range(60):
             cfg = random_config(7, index, QUICK)
+            if cfg.is_baseline:
+                # Competitor sorters: the CGM-only axes must be folded away.
+                assert (cfg.p, cfg.v, cfg.k) == (1, 1, None)
+                assert cfg.engine == "sequential" and cfg.backend == "inline"
+                assert cfg.fault == "none" and not cfg.crash
+                assert not cfg.checkpoint and not cfg.io_overlap
+                assert cfg.records == "object"
+                assert cfg.M >= 2 * cfg.D * cfg.B
+                cfg.baseline_sorter()  # constructible, i.e. admissible
+                continue
             params = cfg.params()  # would raise ParameterError if not
             assert cfg.v % cfg.p == 0
             assert cfg.M >= cfg.D * cfg.B
@@ -242,6 +253,77 @@ class TestOracles:
             f.oracle == "theorem1_io" and "Algorithm 2" in f.message
             for f in fails
         )
+
+
+# -- competitor-sorter (baseline) workloads -----------------------------------
+
+
+class TestBaselineWorkloads:
+    """The counted-cost competitors run through the same fuzzer stack."""
+
+    def baseline_config(self, workload, **overrides):
+        base = dict(workload=workload, n=200, M=256, D=2, B=8)
+        base.update(overrides)
+        return repair(base)
+
+    @pytest.mark.parametrize("workload", BASELINE_WORKLOADS)
+    def test_case_passes_all_oracles(self, workload):
+        result = run_case(self.baseline_config(workload))
+        assert result.passed, [str(f) for f in result.failures]
+        # Three planes: primary (memory), reference folds into primary here,
+        # so at least primary + file-storage ran the output oracle.
+        assert result.checks["output_vs_reference"] >= 2
+        assert result.checks["theorem1_io"] == 1
+        assert result.checks["plane_equivalence"] >= 1
+
+    @pytest.mark.parametrize("workload", BASELINE_WORKLOADS)
+    def test_non_memory_fast_primary_differentiates(self, workload):
+        cfg = self.baseline_config(workload, storage="mmap", fast_io=True)
+        result = run_case(cfg)
+        assert result.passed, [str(f) for f in result.failures]
+        # primary + reference + file-storage are all distinct planes here.
+        assert result.checks["output_vs_reference"] == 3
+        assert result.checks["plane_equivalence"] == 2
+
+    def test_repair_folds_the_cgm_axes(self):
+        cfg = repair(dict(
+            workload="guidesort", p=4, v=8, k=3, engine="parallel",
+            backend="process", fault="kill", crash=True, checkpoint=True,
+            records="vector", io_overlap=True, storage="file",
+            n=50, M=1, D=2, B=8,
+        ))
+        assert (cfg.p, cfg.v, cfg.k) == (1, 1, None)
+        assert cfg.engine == "sequential" and cfg.backend == "inline"
+        assert cfg.fault == "none" and not cfg.crash and not cfg.checkpoint
+        assert cfg.records == "object" and not cfg.io_overlap
+        assert cfg.storage == "file"  # the live axes survive repair
+        assert cfg.n == 50 and cfg.B == 8
+        assert cfg.M >= 2 * cfg.D * cfg.B
+        assert repair(cfg) == cfg  # idempotent
+
+    def test_algorithm_refuses_baseline_workloads(self):
+        cfg = self.baseline_config("buffertree")
+        with pytest.raises(ValueError, match="competitor"):
+            cfg.algorithm()
+
+    def test_shrink_candidates_stay_on_the_baseline_plane(self):
+        cfg = self.baseline_config(
+            "emmergesort", n=120, M=512, D=3, storage="mmap", fast_io=True
+        )
+        cands = list(shrink_candidates(cfg))
+        assert cands  # fast_io / storage / n / M / B all shrinkable
+        for cand in cands:
+            assert cand.is_baseline
+            cand.baseline_sorter()  # still admissible
+
+    def test_bound_violation_is_flagged_as_theorem1_io(self, monkeypatch):
+        from repro.baselines import KWayMergeSort
+
+        monkeypatch.setattr(
+            KWayMergeSort, "predicted_io_ops", lambda self, n: 0
+        )
+        result = run_case(self.baseline_config("emmergesort"))
+        assert any(f.oracle == "theorem1_io" for f in result.failures)
 
 
 # -- shrinker -----------------------------------------------------------------

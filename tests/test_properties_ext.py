@@ -290,3 +290,105 @@ def test_allocator_best_fit_and_coalescing(data):
             assert stg._free_start == {} and stg._next_slot == 0
         finally:
             stg.close()
+
+# -- buffer tree + bulk priority queue (repro.baselines.buffertree) -----------
+
+_bt_machines = st.sampled_from([
+    MachineParams(p=1, M=32, D=1, B=2, b=2),
+    MachineParams(p=1, M=64, D=2, B=4, b=4),
+    MachineParams(p=1, M=128, D=3, B=4, b=4),
+    MachineParams(p=1, M=256, D=2, B=8, b=8),
+])
+
+
+@slow
+@given(machine=_bt_machines, data=st.lists(st.integers(0, 50), max_size=300))
+def test_buffer_tree_matches_sorted_oracle(machine, data):
+    """Inserts against the sorted-list oracle, structural invariants after
+    every phase, a fully-emptied buffer plane after flush, and a counted-I/O
+    ledger that only counts up."""
+    from repro.baselines import BufferTree
+
+    with BufferTree(machine) as tree:
+        prev_ops = 0
+        for x in data:
+            tree.insert(x)
+            assert tree.io_ops >= prev_ops  # monotone counted cost
+            prev_ops = tree.io_ops
+        assert len(tree) == len(data)
+        tree.check_invariants()
+        assert tree.items() == sorted(data)
+        tree.check_invariants()
+        # items() forced a full flush: the buffer plane must be empty now —
+        # no staged root ops, no buffered blocks anywhere in the tree.
+        assert not tree._staging
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert not node.buf_addrs
+            if not node.leaf:
+                stack.extend(node.children)
+
+
+@slow
+@given(
+    machine=_bt_machines,
+    data=st.lists(st.integers(0, 50), min_size=1, max_size=200),
+)
+def test_buffer_tree_leftmost_drain_is_globally_sorted(machine, data):
+    """pop_leftmost_leaf (the PQ refill primitive) emits the tree in
+    globally non-decreasing (key, seq) order and keeps every structural
+    invariant between pops."""
+    from repro.baselines import BufferTree
+
+    with BufferTree(machine) as tree:
+        tree.bulk_insert(data)
+        drained = []
+        for _ in range(len(data) + 5):
+            if not len(tree):
+                break
+            batch = tree.pop_leftmost_leaf()
+            assert batch, "non-empty tree must yield a non-empty leaf"
+            tree.check_invariants()
+            drained.extend(batch)
+        assert not len(tree)
+        marks = [(k, seq) for k, seq, _payload in drained]
+        assert marks == sorted(marks)
+        assert [payload for _k, _s, payload in drained] == sorted(data)
+
+
+@slow
+@given(
+    machine=_bt_machines,
+    steps=st.lists(
+        st.one_of(
+            st.lists(st.integers(0, 30), min_size=1, max_size=40),
+            st.integers(1, 25),
+        ),
+        max_size=12,
+    ),
+)
+def test_buffer_tree_pq_matches_sorted_model(machine, steps):
+    """Model-checked bulk_push / pop_min interleavings: the PQ tracks a
+    sorted-list model exactly (stable on duplicate keys), with a monotone
+    counted-I/O ledger."""
+    from repro.baselines import BufferTreePQ
+
+    model = []
+    prev_ops = 0
+    with BufferTreePQ(machine) as pq:
+        for step in steps:
+            if isinstance(step, list):
+                pq.bulk_push(step)
+                for x in step:
+                    bisect.insort(model, x)
+            else:
+                want, model = model[:step], model[step:]
+                assert pq.bulk_pop(step) == want
+            assert len(pq) == len(model)
+            assert pq.io_ops >= prev_ops
+            prev_ops = pq.io_ops
+        if model:
+            assert pq.peek_min() == model[0]
+        assert pq.bulk_pop(len(model)) == model
+        assert len(pq) == 0
